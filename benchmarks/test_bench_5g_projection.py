@@ -1,0 +1,58 @@
+"""Benchmark: the paper's 5G projection (extension of Figure 5).
+
+§4: "a dominant component of the MEC L-DNS time is the wireless LTE
+latency (approx. 10 ms one way).  Future 5G deployments will drastically
+reduce this time, resulting in even greater end-to-end boost for
+MEC-CDN."  This benchmark swaps the testbed radio for the 5G NR profile
+and re-runs the Figure 5 sweep.
+"""
+
+from repro.core.deployments import (
+    DEPLOYMENT_KEYS,
+    TESTBED_5G,
+    build_testbed,
+)
+from repro.experiments.report import format_table
+from repro.measure import measure_deployment_queries, summarize
+
+QUERIES = 20
+
+
+def sweep(profile):
+    means = {}
+    wireless = {}
+    for key in DEPLOYMENT_KEYS:
+        testbed = build_testbed(key, seed=42, profile=profile)
+        measurements = measure_deployment_queries(testbed, QUERIES)
+        means[key] = summarize([m.latency_ms for m in measurements]).mean
+        wireless[key] = summarize([m.wireless_ms for m in measurements]).mean
+    return means, wireless
+
+
+def test_5g_projection(benchmark):
+    means_5g, wireless_5g = benchmark.pedantic(
+        lambda: sweep(TESTBED_5G), rounds=2, iterations=1)
+    from repro.core.deployments import TESTBED_LTE
+    means_lte, wireless_lte = sweep(TESTBED_LTE)
+
+    # The wireless component collapses (>3x) and the MEC bar with it.
+    assert wireless_5g["mec-ldns-mec-cdns"] < \
+        wireless_lte["mec-ldns-mec-cdns"] / 3
+    assert means_5g["mec-ldns-mec-cdns"] < 10
+    # The relative boost for MEC-CDN grows under 5G, as projected:
+    # the far resolvers barely improve, the MEC bar nearly halves.
+    boost_lte = means_lte["cloudflare-dns"] / means_lte["mec-ldns-mec-cdns"]
+    boost_5g = means_5g["cloudflare-dns"] / means_5g["mec-ldns-mec-cdns"]
+    assert boost_5g > boost_lte * 1.5
+
+    benchmark.extra_info["means_5g_ms"] = {k: round(v, 1)
+                                           for k, v in means_5g.items()}
+    benchmark.extra_info["speedup_lte"] = round(boost_lte, 1)
+    benchmark.extra_info["speedup_5g"] = round(boost_5g, 1)
+    rows = [(key, f"{means_lte[key]:.1f}", f"{means_5g[key]:.1f}")
+            for key in DEPLOYMENT_KEYS]
+    print()
+    print(format_table(["Deployment", "LTE mean ms", "5G mean ms"], rows,
+                       title="Figure 5 under the 5G radio projection"))
+    print(f"MEC-CDN speedup vs Cloudflare DNS: {boost_lte:.1f}x (LTE) -> "
+          f"{boost_5g:.1f}x (5G)")

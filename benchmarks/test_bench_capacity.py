@@ -1,0 +1,23 @@
+"""Benchmark: the MEC DNS capacity curve (extension).
+
+The open-loop load sweep behind the DoS discussion: goodput saturates at
+the service capacity, p95 latency blows up with the queue, loss follows.
+"""
+
+from repro.experiments.capacity import check_shape, run
+
+RATES = (400.0, 1000.0, 1500.0, 2200.0, 3500.0)
+
+
+def test_capacity_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run(rates=RATES, duration_ms=1200, seed=0),
+        rounds=2, iterations=1)
+    assert check_shape(result) == []
+    benchmark.extra_info["goodput_qps"] = {
+        f"{point.offered_qps:.0f}": round(point.goodput_qps)
+        for point in result.points}
+    benchmark.extra_info["saturation_qps"] = result.saturation_qps
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

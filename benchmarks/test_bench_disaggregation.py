@@ -1,0 +1,21 @@
+"""Benchmark: request disaggregation vs. cache miss rate (extension).
+
+Quantifies the paper's §2 observation 2: per-connectivity answer spread
+("disaggregation of requests") measurably increases the cache miss rate
+even with total cache capacity held constant.
+"""
+
+from repro.experiments.disaggregation import check_shape, run
+
+
+def test_disaggregation(benchmark):
+    result = benchmark.pedantic(lambda: run(requests=1000, seed=0),
+                                rounds=2, iterations=1)
+    assert check_shape(result) == []
+    benchmark.extra_info["hit_ratio"] = {
+        row.routing: round(row.hit_ratio, 3) for row in result.rows}
+    benchmark.extra_info["mean_fetch_ms"] = {
+        row.routing: round(row.mean_fetch_ms, 1) for row in result.rows}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

@@ -1,0 +1,22 @@
+"""Benchmark: the 20 ms envelope sweep (extension of Figure 5).
+
+Moves the C-DNS continuously away from the MEC and locates the distance
+where resolution leaves the paper's 20 ms envelope — quantifying why the
+ETSI/3GPP-style "C-DNS elsewhere" architectures cannot hold it.
+"""
+
+from repro.experiments.envelope_sweep import check_shape, run
+
+
+def test_envelope_sweep(benchmark):
+    result = benchmark.pedantic(lambda: run(queries=10, seed=42),
+                                rounds=2, iterations=1)
+    assert check_shape(result) == []
+    benchmark.extra_info["crossover_one_way_ms"] = round(
+        result.crossover_one_way_ms, 1)
+    benchmark.extra_info["sweep"] = {
+        f"{point.cdns_one_way_ms:.1f}ms": round(point.mean_latency_ms, 1)
+        for point in result.points}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

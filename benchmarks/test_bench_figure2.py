@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 2 (lookup latency per domain x network).
+
+Runs the full 5-domain x 3-network sweep (the paper's ">= 12 tests" per
+bar) and asserts the figure's shape claims before reporting the series.
+"""
+
+from repro.experiments.figure2 import check_shape, run as run_figure2
+
+TRIALS = 14
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(trials=TRIALS, seed=3),
+        rounds=3, iterations=1)
+    violations = check_shape(result)
+    assert violations == []
+    bars = result.bars()
+    benchmark.extra_info["bars_ms"] = {
+        f"{site}/{connectivity}": round(mean, 1)
+        for (site, connectivity), mean in bars.items()}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

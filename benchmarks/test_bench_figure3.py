@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (answer distribution over CIDR pools)."""
+
+from repro.experiments.figure3 import check_shape, run as run_figure3
+
+TRIALS = 30
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure3(trials=TRIALS, seed=3),
+        rounds=3, iterations=1)
+    violations = check_shape(result)
+    assert violations == []
+    benchmark.extra_info["distributions"] = {
+        f"{row.site}/{row.connectivity}": {
+            label: round(fraction, 2)
+            for label, fraction in sorted(row.distribution.items())}
+        for row in result.rows}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

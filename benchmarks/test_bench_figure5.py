@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 5 (six DNS deployments on the LTE testbed).
+
+This is the paper's headline result.  The benchmark runs the full
+six-deployment sweep, asserts every shape claim (ordering, 20 ms envelope,
+~5 ms MEC-vs-LAN gap, ~9x speedup, wireless dominance of the MEC bar),
+and reports measured-vs-paper means.
+"""
+
+from repro.experiments.figure5 import PAPER_MEANS, check_shape, run as run_figure5
+
+QUERIES = 25
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure5(queries=QUERIES, seed=42),
+        rounds=3, iterations=1)
+    violations = check_shape(result)
+    assert violations == []
+    means = result.means()
+    benchmark.extra_info["means_ms"] = {key: round(mean, 1)
+                                        for key, mean in means.items()}
+    benchmark.extra_info["paper_means_ms"] = PAPER_MEANS
+    benchmark.extra_info["speedup_vs_cloudflare"] = round(
+        means["cloudflare-dns"] / means["mec-ldns-mec-cdns"], 2)
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

@@ -1,0 +1,22 @@
+"""Benchmark: the P2 mislocalization quantification (extension).
+
+Not a figure in the paper, but a direct quantification of its §2 claim
+chain: the address the CDN sees -> GeoIP error -> far-away cache picks.
+"""
+
+from repro.experiments.mislocalization import check_shape, run
+
+
+def test_mislocalization(benchmark):
+    result = benchmark.pedantic(lambda: run(trials=20, seed=2),
+                                rounds=3, iterations=1)
+    assert check_shape(result) == []
+    benchmark.extra_info["geoip_error_km"] = {
+        row.connectivity: round(row.geoip_error_km)
+        for row in result.rows}
+    benchmark.extra_info["cache_distance_km"] = {
+        row.connectivity: round(row.mean_cache_distance_km)
+        for row in result.rows}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

@@ -1,0 +1,41 @@
+"""Benchmark: Figure 5's shape claims across random seeds.
+
+Calibration could in principle hold only at the seed used for
+EXPERIMENTS.md.  This sweep re-runs the Figure 5 experiment under
+several independent seeds and requires every shape claim to hold for
+each one, plus bounded seed-to-seed variation of the headline bar.
+"""
+
+import statistics
+
+from repro.experiments.figure5 import check_shape, run
+
+SEEDS = (1, 7, 42, 1234, 98765)
+QUERIES = 15
+
+
+def sweep():
+    results = {}
+    for seed in SEEDS:
+        result = run(queries=QUERIES, seed=seed)
+        results[seed] = result
+    return results
+
+
+def test_seed_robustness(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    mec_means = []
+    for seed, result in results.items():
+        violations = check_shape(result)
+        assert violations == [], f"seed {seed}: {violations}"
+        mec_means.append(result.means()["mec-ldns-mec-cdns"])
+    spread = max(mec_means) - min(mec_means)
+    mean = statistics.fmean(mec_means)
+    # The headline bar moves by well under 15% across seeds.
+    assert spread < 0.15 * mean
+    benchmark.extra_info["mec_mec_means_ms"] = [round(v, 2)
+                                                for v in mec_means]
+    benchmark.extra_info["seeds"] = list(SEEDS)
+    print(f"\nMEC/MEC mean across seeds {SEEDS}: "
+          f"{mean:.1f} ms +- {spread / 2:.2f} ms; "
+          f"all shape claims hold at every seed")

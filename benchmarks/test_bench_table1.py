@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 1 (sites and CDN domains).
+
+Table 1 is derived data; the benchmark times the derivation + rendering
+and records the row content so the output is paper-comparable.
+"""
+
+from repro.experiments.table1 import run as run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark(run_table1)
+    rows = {row.site: row.domain for row in result.rows}
+    assert rows == {
+        "Airbnb": "a0.muscache.com",
+        "Booking.com": "q-cf.bstatic.com",
+        "TripAdvisor": "static.tacdn.com",
+        "Agoda": "cdn0.agoda.net",
+        "Expedia": "a.cdn.intentmedia.net",
+    }
+    benchmark.extra_info["rows"] = rows
+    print()
+    print(result.render())

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 2 (entities and roles in MEC-CDN)."""
+
+from repro.experiments.table2 import run as run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark(run_table2)
+    assert len(result.rows) == 7
+    assert {row.entity for row in result.rows} == {
+        "Cellular Providers", "CDN Providers", "DNS Provider",
+        "Web Provider", "Cloud Provider", "CDN Brokers", "MEC Provider",
+    }
+    benchmark.extra_info["multi_role_entities"] = sorted(result.multi_role)
+    print()
+    print(result.render())

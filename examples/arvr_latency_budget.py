@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""AR/VR latency budget: which DNS deployment leaves room for rendering?
+
+The paper motivates MEC-CDN with the "sub 20 ms requirements of emerging
+workloads such as AR/VR", and notes that on the 4G testbed "a dominant
+component of the MEC L-DNS time is the wireless LTE latency ... Future 5G
+deployments will drastically reduce this time".
+
+An AR app that must refresh a content overlay pays DNS + content fetch
+before anything renders.  This example measures both components for every
+Figure 5 deployment — on the 4G-LTE testbed *and* with the radio swapped
+for 5G NR — and reports the headroom left inside a 20 ms budget.
+
+Run:  python examples/arvr_latency_budget.py
+"""
+
+from repro.cdn import HttpClient
+from repro.core.deployments import (
+    DEPLOYMENT_KEYS,
+    TESTBED_5G,
+    TESTBED_LTE,
+    build_testbed,
+)
+from repro.experiments.report import format_table
+from repro.measure import measure_deployment_queries, summarize
+
+BUDGET_MS = 20.0
+#: A small AR asset (a texture tile) — transfer is not the bottleneck.
+ASSET_BYTES = 32_000
+
+
+def measure(key: str, profile):
+    testbed = build_testbed(key, seed=11, profile=profile)
+    # Publish an AR-sized asset on the delivery domain and place it at
+    # the edge caches (content placement is a deploy-time action).
+    item = testbed.mec_site.catalog.add_object(
+        testbed.query_name, "/overlay/tile.png", ASSET_BYTES)
+    for cache in testbed.mec_site.caches:
+        cache.warm([item])
+
+    dns = measure_deployment_queries(testbed, count=12)
+    dns_mean = summarize([m.latency_ms for m in dns]).mean
+    cache_ip = dns[0].addresses[0]
+
+    sim = testbed.sim
+    client = HttpClient(testbed.network, testbed.ue.host)
+    fetch_times = []
+    for _ in range(12):
+        fetch = sim.run_until_resolved(
+            sim.spawn(client.fetch(item.url, cache_ip)))
+        fetch_times.append(fetch.latency_ms)
+    fetch_mean = summarize(fetch_times).mean
+    return dns_mean, fetch_mean
+
+
+def main() -> None:
+    print(__doc__)
+    for radio_name, profile in (("4G-LTE", TESTBED_LTE),
+                                ("5G NR", TESTBED_5G)):
+        rows = []
+        for key in DEPLOYMENT_KEYS:
+            dns_mean, fetch_mean = measure(key, profile)
+            total = dns_mean + fetch_mean
+            headroom = BUDGET_MS - total
+            verdict = "OK" if headroom > 0 else "BLOWN"
+            rows.append((key, f"{dns_mean:.1f}", f"{fetch_mean:.1f}",
+                         f"{total:.1f}", f"{headroom:+.1f}", verdict))
+        print(format_table(
+            ["Deployment", "DNS ms", "fetch ms", "total ms",
+             f"headroom vs {BUDGET_MS:.0f}ms", "verdict"],
+            rows,
+            title=f"AR/VR content-update budget over {radio_name}"))
+        print()
+    print("Over LTE the ~10 ms wireless round trip eats half the budget "
+          "before any server is involved;\nover 5G only the deployments "
+          "that keep BOTH the resolver and the CDN router at the MEC\n"
+          "leave real headroom for the application — the paper's P1+P2 "
+          "argument in two tables.")
+
+
+if __name__ == "__main__":
+    main()

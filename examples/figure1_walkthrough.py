@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Figure 1 walkthrough: the five steps of a classic CDN access.
+
+The paper's Figure 1 sequence, on the wired path:
+
+1. the client sends a DNS lookup for the content URL's domain;
+2. the L-DNS resolves it through root/TLD/authoritative DNS and gets a
+   CNAME to the CDN's name server;
+3. the L-DNS queries the CDN Router (C-DNS) for the CNAME;
+4. the L-DNS returns the chosen cache server's address to the client;
+5. the client fetches the content from that cache.
+
+Every hop is a real simulated DNS transaction (wire-encoded messages,
+iterative resolution, CNAME chasing), so the printed step timings add up
+to the end-to-end access latency.
+
+Run:  python examples/figure1_walkthrough.py
+"""
+
+from repro.cdn import (
+    CacheServer,
+    ContentCatalog,
+    CoverageZone,
+    HttpClient,
+    TrafficRouter,
+)
+from repro.dnswire import Name, RecordType, ResourceRecord, Zone
+from repro.dnswire.rdata import A, CNAME, NS, SOA
+from repro.netsim import Constant, Network, RandomStreams, Simulator
+from repro.resolver import RecursiveResolver, StubResolver
+from repro.resolver.recursive import root_hints_from
+
+WEB_DOMAIN = Name("static.shop.example")
+CDN_NAME = Name("shop.cdn-provider.net")
+
+
+def rr(owner, rtype, rdata, ttl=300):
+    return ResourceRecord(Name(owner), rtype, ttl, rdata)
+
+
+def build_zones():
+    root = Zone(Name("."))
+    root.add(rr(".", RecordType.SOA, SOA(Name("a.root"), Name("admin.root"),
+                                         1, 2, 3, 4, 60)))
+    root.add(rr(".", RecordType.NS, NS(Name("a.root"))))
+    for tld in ("example", "net"):
+        root.add(rr(tld, RecordType.NS, NS(Name(f"ns.{tld}"))))
+        root.add(rr(f"ns.{tld}", RecordType.A, A("192.12.94.1")))
+
+    tld_example = Zone(Name("example"))
+    tld_example.add(rr("example", RecordType.SOA,
+                       SOA(Name("ns.example"), Name("a.example"),
+                           1, 2, 3, 4, 60)))
+    tld_example.add(rr("shop.example", RecordType.NS,
+                       NS(Name("ns1.shop.example"))))
+    tld_example.add(rr("ns1.shop.example", RecordType.A, A("203.0.113.20")))
+
+    tld_net = Zone(Name("net"))
+    tld_net.add(rr("net", RecordType.SOA,
+                   SOA(Name("ns.net"), Name("a.net"), 1, 2, 3, 4, 60)))
+    tld_net.add(rr("cdn-provider.net", RecordType.NS,
+                   NS(Name("cdns.cdn-provider.net"))))
+    tld_net.add(rr("cdns.cdn-provider.net", RecordType.A, A("203.0.113.30")))
+
+    # The web provider's authoritative zone: the CNAME into the CDN
+    # (step 2's answer).
+    web_adns = Zone(Name("shop.example"))
+    web_adns.add(rr("shop.example", RecordType.SOA,
+                    SOA(Name("ns1.shop.example"), Name("a.shop.example"),
+                        1, 2, 3, 4, 60)))
+    web_adns.add(rr("shop.example", RecordType.NS,
+                    NS(Name("ns1.shop.example"))))
+    web_adns.add(rr("static.shop.example", RecordType.CNAME,
+                    CNAME(CDN_NAME)))
+    return root, tld_example, tld_net, web_adns
+
+
+def main() -> None:
+    print(__doc__)
+    sim = Simulator()
+    net = Network(sim, RandomStreams(61))
+    for name, ip in (("client", "10.10.0.2"), ("ldns", "192.0.10.53"),
+                     ("root", "192.5.5.1"), ("tld", "192.12.94.1"),
+                     ("web-adns", "203.0.113.20"), ("cdns", "203.0.113.30"),
+                     ("cache", "203.0.113.80")):
+        net.add_host(name, ip)
+    net.add_link("client", "ldns", Constant(1))
+    for server in ("root", "tld", "web-adns", "cdns"):
+        net.add_link("ldns", server, Constant(8))
+    net.add_link("client", "cache", Constant(6))
+
+    from repro.resolver import AuthoritativeServer
+    root, tld_example, tld_net, web_adns = build_zones()
+    AuthoritativeServer(net, net.host("root"), [root])
+    AuthoritativeServer(net, net.host("tld"), [tld_example, tld_net])
+    AuthoritativeServer(net, net.host("web-adns"), [web_adns])
+
+    catalog = ContentCatalog()
+    item = catalog.add_object(CDN_NAME, "/banner.jpg", 150_000)
+    cache = CacheServer(net, net.host("cache"), catalog)
+    cache.warm([item])
+    TrafficRouter(net, net.host("cdns"), Name("cdn-provider.net"),
+                  zones=[CoverageZone("all", ["0.0.0.0/0"], [cache])])
+
+    resolver = RecursiveResolver(net, net.host("ldns"),
+                                 root_hints_from(("a.root", "192.5.5.1")))
+    stub = StubResolver(net, net.host("client"), resolver.endpoint)
+
+    print(f"Step 1   client -> L-DNS: lookup {WEB_DOMAIN}")
+    t0 = sim.now
+    result = sim.run_until_resolved(sim.spawn(stub.query(WEB_DOMAIN)))
+    answers = result.response.answers
+    print(f"Step 2   L-DNS walked root -> .example -> A-DNS; got CNAME "
+          f"{answers[0].rdata.target}")
+    print(f"Step 3   L-DNS asked the CDN Router (C-DNS) for the CNAME "
+          f"target")
+    print(f"Step 4   client <- L-DNS: {result.addresses[0]} "
+          f"(total {result.query_time_ms:.1f} ms, "
+          f"{resolver.upstream_queries_sent} upstream queries)")
+
+    client = HttpClient(net, net.host("client"))
+    fetch = sim.run_until_resolved(
+        sim.spawn(client.fetch(item.url, result.addresses[0])))
+    print(f"Step 5   GET {item.url} -> {fetch.status} "
+          f"{fetch.size_bytes} bytes "
+          f"({'HIT' if fetch.cache_hit else 'MISS'}) "
+          f"in {fetch.latency_ms:.1f} ms")
+    print(f"\nEnd-to-end access latency: {sim.now - t0:.1f} ms — and this "
+          f"is the *wired* best case the paper's Figure 2 starts from.")
+
+    # A repeat visit: the L-DNS has everything cached, so steps 2-3
+    # disappear ("the A records TTL never expires at L-DNS").
+    repeat = sim.run_until_resolved(sim.spawn(stub.query(WEB_DOMAIN)))
+    print(f"Repeat lookup from L-DNS cache: {repeat.query_time_ms:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""The §2 measurement study: dig five CDN domains over three networks.
+
+Re-runs the paper's Table 1 / Figure 2 / Figure 3 methodology on the
+modelled public Internet: the same device location, three access paths
+(campus Ethernet, home Wi-Fi, cellular hotspot), 25 dig runs per domain
+per network, 8th-92nd percentile trimming, and answer-IP-to-CIDR-pool
+attribution.
+
+Run:  python examples/public_cdn_measurement.py
+"""
+
+from repro.experiments import run_figure2, run_figure3, run_table1
+from repro.experiments.figure2 import check_shape as check_figure2
+from repro.experiments.figure3 import check_shape as check_figure3
+
+
+def main() -> None:
+    print(__doc__)
+    print(run_table1().render())
+    print()
+
+    figure2 = run_figure2(trials=25, seed=1)
+    print(figure2.render())
+    violations = check_figure2(figure2)
+    print(f"\nFigure 2 shape claims: "
+          f"{'ALL HOLD' if not violations else violations}")
+    print("  (cellular >> wifi > wired for every domain, with the "
+          "cellular bars also the most variable)\n")
+
+    figure3 = run_figure3(trials=40, seed=1)
+    print(figure3.render())
+    violations = check_figure3(figure3)
+    print(f"Figure 3 shape claims: "
+          f"{'ALL HOLD' if not violations else violations}")
+    print("  (the same domain resolves into different provider pools "
+          "depending on the access network — the opaqueness the paper "
+          "argues DNS-for-MEC must eliminate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Run every paper artifact at full fidelity and print the results.
+
+This is the script EXPERIMENTS.md is generated from:
+
+    python scripts/run_all_experiments.py > experiments_output.txt
+"""
+from repro.experiments import (run_table1, run_table2, run_figure2,
+                               run_figure3, run_figure5, run_ecs)
+from repro.experiments.figure2 import check_shape as f2
+from repro.experiments.figure3 import check_shape as f3
+from repro.experiments.figure5 import check_shape as f5
+from repro.experiments.ecs import check_shape as fe
+from repro.experiments.mislocalization import check_shape as fm
+from repro.experiments.disaggregation import check_shape as fd
+from repro.experiments.envelope_sweep import check_shape as fs
+from repro.experiments import (run_mislocalization, run_disaggregation,
+                               run_envelope_sweep, run_overload,
+                               run_access_latency, run_capacity)
+from repro.experiments.access_latency import check_shape as fa
+from repro.experiments.capacity import check_shape as fc
+from repro.experiments.overload import check_shape as fo
+
+
+def main() -> None:
+    print(run_table1().render())
+    print()
+    print(run_table2().render())
+    print()
+    r2 = run_figure2(trials=25, seed=1)
+    print(r2.render())
+    print(f"Figure 2 shape claims: {'ALL HOLD' if not f2(r2) else f2(r2)}")
+    print()
+    r3 = run_figure3(trials=40, seed=1)
+    print(r3.render())
+    print(f"Figure 3 shape claims: {'ALL HOLD' if not f3(r3) else f3(r3)}")
+    print()
+    r5 = run_figure5(queries=40, seed=42)
+    print(r5.render())
+    print(f"Figure 5 shape claims: {'ALL HOLD' if not f5(r5) else f5(r5)}")
+    print()
+    re_ = run_ecs(queries=40, seed=42)
+    print(re_.render())
+    print(f"ECS shape claims: {'ALL HOLD' if not fe(re_) else fe(re_)}")
+    print()
+    rm = run_mislocalization(trials=30, seed=2)
+    print(rm.render())
+    print(f"Mislocalization shape claims: "
+          f"{'ALL HOLD' if not fm(rm) else fm(rm)}")
+    print()
+    rd = run_disaggregation(requests=1500, seed=0)
+    print(rd.render())
+    print(f"Disaggregation shape claims: "
+          f"{'ALL HOLD' if not fd(rd) else fd(rd)}")
+    print()
+    rs = run_envelope_sweep(queries=15, seed=42)
+    print(rs.render())
+    print(f"Envelope-sweep shape claims: "
+          f"{'ALL HOLD' if not fs(rs) else fs(rs)}")
+    print()
+    ro = run_overload(seed=0)
+    print(ro.render())
+    print(f"Overload shape claims: {'ALL HOLD' if not fo(ro) else fo(ro)}")
+    print()
+    ra = run_access_latency(seed=42)
+    print(ra.render())
+    print(f"Access-latency shape claims: "
+          f"{'ALL HOLD' if not fa(ra) else fa(ra)}")
+    print()
+    rc = run_capacity(seed=0)
+    print(rc.render())
+    print(f"Capacity shape claims: {'ALL HOLD' if not fc(rc) else fc(rc)}")
+
+
+if __name__ == "__main__":
+    main()

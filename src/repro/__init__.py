@@ -1,0 +1,20 @@
+"""Reproduction of "DNS Does Not Suffice for MEC-CDN" (HotNets 2020).
+
+The library models the full MEC-CDN ecosystem the paper studies:
+
+* a complete DNS wire protocol and resolver stack (:mod:`repro.dnswire`,
+  :mod:`repro.resolver`),
+* a deterministic discrete-event network simulator (:mod:`repro.netsim`),
+* a mobile access network with an LTE/5G core (:mod:`repro.mobile`),
+* a CDN with cache servers, a traffic router, and commercial provider
+  models (:mod:`repro.cdn`),
+* a Kubernetes-style MEC orchestrator with a CoreDNS analog
+  (:mod:`repro.mec`), and
+* the paper's proposed MEC-CDN design plus the six evaluated DNS
+  deployment scenarios (:mod:`repro.core`).
+
+The experiments in :mod:`repro.experiments` regenerate every table and
+figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

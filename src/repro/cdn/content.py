@@ -1,0 +1,139 @@
+"""Content catalog and request workloads.
+
+Content items are the static objects (``.img``, ``.js``, ``.css``, video
+segments) the paper's Table 1 sites serve through CDN domains.  The
+catalog indexes them by URL; :class:`ZipfWorkload` generates the
+popularity-skewed request streams CDN evaluations conventionally use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.dnswire.name import Name
+from repro.errors import ContentNotFound
+
+
+class ContentItem:
+    """One cacheable object, addressed by a URL under a CDN domain."""
+
+    __slots__ = ("url", "domain", "path", "size_bytes", "content_id")
+
+    def __init__(self, domain: Name, path: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"content size must be positive, got {size_bytes}")
+        if not path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {path!r}")
+        self.domain = domain
+        self.path = path
+        self.size_bytes = size_bytes
+        self.url = f"http://{domain.to_text().rstrip('.')}{path}"
+        self.content_id = self.url
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContentItem):
+            return NotImplemented
+        return self.content_id == other.content_id
+
+    def __hash__(self) -> int:
+        return hash(self.content_id)
+
+    def __repr__(self) -> str:
+        return f"ContentItem({self.url}, {self.size_bytes}B)"
+
+
+class ContentCatalog:
+    """All content a CDN deployment knows about, indexed by URL and domain."""
+
+    def __init__(self) -> None:
+        self._by_url: Dict[str, ContentItem] = {}
+        self._by_domain: Dict[Name, List[ContentItem]] = {}
+
+    def add(self, item: ContentItem) -> ContentItem:
+        """Register an existing item in the catalog indexes."""
+        self._by_url[item.url] = item
+        self._by_domain.setdefault(item.domain, []).append(item)
+        return item
+
+    def add_object(self, domain: Name, path: str, size_bytes: int) -> ContentItem:
+        """Create and register a new item under ``domain``."""
+        return self.add(ContentItem(domain, path, size_bytes))
+
+    def by_url(self, url: str) -> ContentItem:
+        """The item at ``url``; raises ContentNotFound if absent."""
+        try:
+            return self._by_url[url]
+        except KeyError:
+            raise ContentNotFound(f"no content at {url}") from None
+
+    def for_domain(self, domain: Name) -> List[ContentItem]:
+        """Items whose domain matches ``domain`` exactly."""
+        return list(self._by_domain.get(domain, []))
+
+    def under_domain(self, suffix: Name) -> List[ContentItem]:
+        """Items whose domain equals or sits below ``suffix``.
+
+        A CDN delivery service owns a whole sub-tree (e.g. everything
+        under ``mycdn.ciab.test``), so placement uses this, not
+        :meth:`for_domain`.
+        """
+        return [item for domain, items in self._by_domain.items()
+                if domain.is_subdomain_of(suffix) for item in items]
+
+    def domains(self) -> List[Name]:
+        """All domains with at least one item."""
+        return list(self._by_domain)
+
+    def __len__(self) -> int:
+        return len(self._by_url)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._by_url
+
+    def populate_synthetic(self, domain: Name, count: int,
+                           rng: random.Random,
+                           min_bytes: int = 2_000,
+                           max_bytes: int = 2_000_000) -> List[ContentItem]:
+        """Add ``count`` synthetic objects with log-uniform sizes."""
+        import math
+        items = []
+        for index in range(count):
+            log_size = rng.uniform(math.log(min_bytes), math.log(max_bytes))
+            items.append(self.add_object(
+                domain, f"/static/obj{index:05d}", int(math.exp(log_size))))
+        return items
+
+
+class ZipfWorkload:
+    """A Zipf(s)-distributed request stream over a fixed item list."""
+
+    def __init__(self, items: Sequence[ContentItem], rng: random.Random,
+                 exponent: float = 0.9) -> None:
+        if not items:
+            raise ValueError("workload needs at least one item")
+        if exponent <= 0:
+            raise ValueError(f"Zipf exponent must be positive, got {exponent}")
+        self.items = list(items)
+        self.exponent = exponent
+        self._rng = rng
+        weights = [1.0 / (rank ** exponent)
+                   for rank in range(1, len(self.items) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def next_item(self) -> ContentItem:
+        """Draw the next requested item from the Zipf distribution."""
+        import bisect
+        point = self._rng.random()
+        index = bisect.bisect_left(self._cumulative, point)
+        return self.items[min(index, len(self.items) - 1)]
+
+    def requests(self, count: int) -> Iterator[ContentItem]:
+        """Yield ``count`` successive requests."""
+        for _ in range(count):
+            yield self.next_item()

@@ -1,0 +1,118 @@
+"""Active health checking of cache servers (the ATC health protocol analog).
+
+The traffic router must only answer with caches that are actually up
+("depending on the requested content, the cache servers' configurations
+and their availability at the edge", §4).  Flipping a boolean is how the
+tests inject failures; this module is the *detection* side: a monitor
+that probes each cache over the data path, declares it unhealthy after
+consecutive failures, and recovers it on the first successful probe.
+
+Wire the monitor into a router with::
+
+    monitor = HealthMonitor(network, router_host, caches)
+    router = TrafficRouter(..., health_check=monitor.is_healthy)
+    monitor.start()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from repro.cdn.cache_server import CacheServer
+from repro.errors import QueryTimeout
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.socket import UdpSocket
+
+
+class HealthMonitor:
+    """Periodic prober with consecutive-failure hysteresis."""
+
+    def __init__(self, network: Network, host: Host,
+                 caches: List[CacheServer],
+                 interval_ms: float = 500.0,
+                 probe_timeout_ms: float = 200.0,
+                 failure_threshold: int = 2) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        self.network = network
+        self.host = host
+        self.caches = list(caches)
+        self.interval_ms = interval_ms
+        self.probe_timeout_ms = probe_timeout_ms
+        self.failure_threshold = failure_threshold
+        self._healthy: Dict[str, bool] = {cache.name: True
+                                          for cache in caches}
+        self._failures: Dict[str, int] = {cache.name: 0 for cache in caches}
+        self.probes_sent = 0
+        self.transitions = 0
+        self._running = False
+
+    def is_healthy(self, cache: CacheServer) -> bool:
+        """The monitor's current belief (the router's predicate)."""
+        return self._healthy.get(cache.name, False)
+
+    @property
+    def healthy_count(self) -> int:
+        return sum(1 for status in self._healthy.values() if status)
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe_once(self, cache: CacheServer) -> Generator:
+        """Process: one probe; returns True if the cache answered.
+
+        Any response (even a 404) proves liveness — the probe URL does
+        not need to exist; a crashed cache answers nothing at all.
+        """
+        sock = UdpSocket(self.host)
+        self.probes_sent += 1
+        try:
+            yield sock.request(b"GET health://probe", cache.endpoint,
+                               self.probe_timeout_ms)
+        except QueryTimeout:
+            return False
+        finally:
+            sock.close()
+        return True
+
+    def probe_all_once(self) -> Generator:
+        """Process: probe every cache and update health beliefs."""
+        for cache in self.caches:
+            alive = yield from self.probe_once(cache)
+            self._account(cache, alive)
+
+    def _account(self, cache: CacheServer, alive: bool) -> None:
+        if alive:
+            self._failures[cache.name] = 0
+            if not self._healthy[cache.name]:
+                self._healthy[cache.name] = True
+                self.transitions += 1
+        else:
+            self._failures[cache.name] += 1
+            if (self._failures[cache.name] >= self.failure_threshold
+                    and self._healthy[cache.name]):
+                self._healthy[cache.name] = False
+                self.transitions += 1
+
+    # -- continuous operation ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background control loop (a simulator process)."""
+        if self._running:
+            return
+        self._running = True
+
+        def loop() -> Generator:
+            while self._running:
+                yield from self.probe_all_once()
+                yield self.interval_ms
+
+        self.network.sim.spawn(loop())
+
+    def stop(self) -> None:
+        """Stop the background control loop after its current cycle."""
+        self._running = False
+
+    def __repr__(self) -> str:
+        return (f"HealthMonitor({self.healthy_count}/{len(self.caches)} "
+                f"healthy, probes={self.probes_sent})")

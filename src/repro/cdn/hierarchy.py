@@ -1,0 +1,74 @@
+"""Tiered CDN: edge, mid, and far tiers with miss referral.
+
+The paper's §3: "In cases where the content is not available at MEC-CDN,
+C-DNS simply returns the address of another C-DNS running at a different
+CDN tier, e.g., a mid-tier running alongside the mobile network core, or a
+far-tier running in the cloud."  :class:`TieredCdn` wires routers and
+caches into that shape: each tier's caches fill from the tier above, and
+each tier's router refers to the next tier's router when it cannot serve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cdn.cache_server import CacheServer
+from repro.cdn.router import TrafficRouter
+
+
+class CdnTier:
+    """One tier: a router plus its cache group."""
+
+    def __init__(self, name: str, router: TrafficRouter,
+                 caches: List[CacheServer]) -> None:
+        self.name = name
+        self.router = router
+        self.caches = list(caches)
+        self.parent: Optional["CdnTier"] = None
+
+    def link_parent(self, parent: "CdnTier") -> None:
+        """Fill this tier's caches from the parent tier and refer misses."""
+        self.parent = parent
+        fill_target = parent.caches[0].endpoint if parent.caches else None
+        for cache in self.caches:
+            if fill_target is not None:
+                cache.parent = fill_target
+        self.router.next_tier = parent.router.endpoint.ip
+
+    def hit_ratio(self) -> float:
+        """Aggregate hit ratio across this tier's caches."""
+        hits = sum(cache.stats.hits for cache in self.caches)
+        total = hits + sum(cache.stats.misses for cache in self.caches)
+        return hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"CdnTier({self.name}, {len(self.caches)} caches)"
+
+
+class TieredCdn:
+    """An ordered list of tiers, closest to the client first."""
+
+    def __init__(self, tiers: List[CdnTier]) -> None:
+        if not tiers:
+            raise ValueError("a tiered CDN needs at least one tier")
+        self.tiers = list(tiers)
+        for child, parent in zip(self.tiers, self.tiers[1:]):
+            child.link_parent(parent)
+
+    @property
+    def edge(self) -> CdnTier:
+        return self.tiers[0]
+
+    @property
+    def origin_tier(self) -> CdnTier:
+        return self.tiers[-1]
+
+    def tier(self, name: str) -> CdnTier:
+        """The tier named ``name``; raises KeyError if absent."""
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise KeyError(f"no tier called {name!r}")
+
+    def __repr__(self) -> str:
+        return f"TieredCdn({[tier.name for tier in self.tiers]})"

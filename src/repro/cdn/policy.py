@@ -1,0 +1,103 @@
+"""Cache eviction policies.
+
+The cache server asks its policy which resident object to evict when
+admission would exceed capacity.  Implementations keep their own metadata
+and are notified on hit/admit/evict, so they compose with any store.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class EvictionPolicy:
+    """Interface: tracks residency metadata, chooses victims."""
+
+    def on_admit(self, content_id: str) -> None:
+        """Track a newly admitted object."""
+        raise NotImplementedError
+
+    def on_hit(self, content_id: str) -> None:
+        """Track a hit on a resident object."""
+        raise NotImplementedError
+
+    def on_evict(self, content_id: str) -> None:
+        """Forget an evicted object."""
+        raise NotImplementedError
+
+    def choose_victim(self) -> Optional[str]:
+        """The next content id to evict, or None if nothing is tracked."""
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least-recently used object (ATC's default behaviour)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def on_admit(self, content_id: str) -> None:
+        """Track a newly admitted object."""
+        self._order[content_id] = None
+        self._order.move_to_end(content_id)
+
+    def on_hit(self, content_id: str) -> None:
+        """Track a hit on a resident object."""
+        if content_id in self._order:
+            self._order.move_to_end(content_id)
+
+    def on_evict(self, content_id: str) -> None:
+        """Forget an evicted object."""
+        self._order.pop(content_id, None)
+
+    def choose_victim(self) -> Optional[str]:
+        return next(iter(self._order), None)
+
+
+class LfuPolicy(EvictionPolicy):
+    """Evict the least-frequently used object; ties broken by age."""
+
+    def __init__(self) -> None:
+        self._counts: "OrderedDict[str, int]" = OrderedDict()
+
+    def on_admit(self, content_id: str) -> None:
+        """Track a newly admitted object."""
+        self._counts[content_id] = 1
+
+    def on_hit(self, content_id: str) -> None:
+        """Track a hit on a resident object."""
+        if content_id in self._counts:
+            self._counts[content_id] += 1
+
+    def on_evict(self, content_id: str) -> None:
+        """Forget an evicted object."""
+        self._counts.pop(content_id, None)
+
+    def choose_victim(self) -> Optional[str]:
+        if not self._counts:
+            return None
+        return min(self._counts, key=lambda cid: self._counts[cid])
+
+
+class FifoPolicy(EvictionPolicy):
+    """Evict in admission order, ignoring hits."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def on_admit(self, content_id: str) -> None:
+        """Track a newly admitted object."""
+        if content_id not in self._order:
+            self._order[content_id] = None
+
+    def on_hit(self, content_id: str) -> None:
+        """Track a hit on a resident object."""
+        pass  # FIFO ignores recency
+
+    def on_evict(self, content_id: str) -> None:
+        """Forget an evicted object."""
+        self._order.pop(content_id, None)
+
+    def choose_victim(self) -> Optional[str]:
+        return next(iter(self._order), None)

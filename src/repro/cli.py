@@ -1,0 +1,174 @@
+"""Command-line interface for the MEC-CDN reproduction.
+
+Subcommands:
+
+* ``experiment <artifact>`` — regenerate a paper artifact (``table1``,
+  ``table2``, ``figure2``, ``figure3``, ``figure5``, ``ecs``,
+  ``mislocalization``) or ``all``.
+* ``dig <name>`` — run dig-style queries against a chosen Figure 5
+  deployment and print each result plus the summary.
+* ``deployments`` — list the six evaluated DNS deployments.
+
+Usage examples::
+
+    python -m repro.cli experiment figure5 --queries 40
+    python -m repro.cli dig video.demo1.mycdn.ciab.test \
+        --deployment mec-ldns-mec-cdns --count 5
+    python -m repro.cli deployments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.deployments import (
+    DEPLOYMENT_KEYS,
+    DEPLOYMENT_LABELS,
+    build_testbed,
+)
+from repro.measure import measure_deployment_queries, summarize
+
+_ARTIFACTS = ("table1", "table2", "figure2", "figure3", "figure5", "ecs",
+              "mislocalization", "disaggregation", "envelope-sweep",
+              "overload", "access-latency", "capacity")
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> None:
+    from repro import experiments
+    from repro.experiments import (figure2, figure3, figure5, ecs,
+                                   mislocalization, disaggregation,
+                                   envelope_sweep, overload)
+    if name == "table1":
+        print(experiments.run_table1().render())
+        return
+    if name == "table2":
+        print(experiments.run_table2().render())
+        return
+    if name == "figure2":
+        result = experiments.run_figure2(trials=args.trials, seed=args.seed)
+        checker = figure2.check_shape
+    elif name == "figure3":
+        result = experiments.run_figure3(trials=args.trials, seed=args.seed)
+        checker = figure3.check_shape
+    elif name == "figure5":
+        result = experiments.run_figure5(queries=args.queries,
+                                         seed=args.seed)
+        print(result.render_chart())
+        print()
+        checker = figure5.check_shape
+    elif name == "ecs":
+        result = experiments.run_ecs(queries=args.queries, seed=args.seed)
+        checker = ecs.check_shape
+    elif name == "disaggregation":
+        result = experiments.run_disaggregation(seed=args.seed)
+        checker = disaggregation.check_shape
+    elif name == "envelope-sweep":
+        result = experiments.run_envelope_sweep(queries=args.queries,
+                                                seed=args.seed)
+        checker = envelope_sweep.check_shape
+    elif name == "overload":
+        result = experiments.run_overload(seed=args.seed)
+        checker = overload.check_shape
+    elif name == "access-latency":
+        from repro.experiments import access_latency
+        result = experiments.run_access_latency(seed=args.seed)
+        checker = access_latency.check_shape
+    elif name == "capacity":
+        from repro.experiments import capacity
+        result = experiments.run_capacity(seed=args.seed)
+        checker = capacity.check_shape
+    else:
+        result = experiments.run_mislocalization(trials=args.trials,
+                                                 seed=args.seed)
+        checker = mislocalization.check_shape
+    print(result.render())
+    violations = checker(result)
+    print(f"shape claims: {'ALL HOLD' if not violations else violations}")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for index, name in enumerate(names):
+        if index:
+            print()
+        _run_experiment(name, args)
+    return 0
+
+
+def _cmd_dig(args: argparse.Namespace) -> int:
+    testbed = build_testbed(args.deployment, seed=args.seed, ecs=args.ecs)
+    if args.name != str(testbed.query_name).rstrip("."):
+        print(f"note: the testbed serves {testbed.query_name}; "
+              f"querying it instead of {args.name!r}", file=sys.stderr)
+    if args.verbose:
+        stub = testbed.ue.stub()
+        result = testbed.sim.run_until_resolved(
+            testbed.sim.spawn(stub.query(testbed.query_name)))
+        print(result.response.to_text())
+        print(f"\n;; Query time: {result.query_time_ms:.0f} msec")
+        print(f";; SERVER: {result.server}")
+        return 0
+    measurements = measure_deployment_queries(testbed, args.count)
+    for index, m in enumerate(measurements, 1):
+        print(f"[{index:2d}] {m.status:8s} {','.join(m.addresses):18s} "
+              f"{m.latency_ms:7.2f} ms "
+              f"(wireless {m.wireless_ms:.2f} / resolver {m.resolver_ms:.2f})")
+    stats = summarize([m.latency_ms for m in measurements])
+    print(f"\n;; {DEPLOYMENT_LABELS[args.deployment]}: {stats}")
+    return 0
+
+
+def _cmd_deployments(args: argparse.Namespace) -> int:
+    for key in DEPLOYMENT_KEYS:
+        print(f"{key:22s} {DEPLOYMENT_LABELS[key]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mec-cdn",
+        description="Reproduction of 'DNS Does Not Suffice for MEC-CDN' "
+                    "(HotNets 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("artifact", choices=_ARTIFACTS + ("all",))
+    exp.add_argument("--trials", type=int, default=25,
+                     help="tests per bar for figure2/figure3/mislocalization")
+    exp.add_argument("--queries", type=int, default=40,
+                     help="queries per bar for figure5/ecs")
+    exp.add_argument("--seed", type=int, default=42)
+    exp.set_defaults(handler=_cmd_experiment)
+
+    dig = sub.add_parser("dig", help="query a Figure 5 deployment")
+    dig.add_argument("name", nargs="?",
+                     default="video.demo1.mycdn.ciab.test")
+    dig.add_argument("--deployment", choices=DEPLOYMENT_KEYS,
+                     default="mec-ldns-mec-cdns")
+    dig.add_argument("--count", type=int, default=5)
+    dig.add_argument("--seed", type=int, default=0)
+    dig.add_argument("--ecs", action="store_true",
+                     help="enable EDNS Client Subnet at L-DNS and C-DNS")
+    dig.add_argument("--verbose", action="store_true",
+                     help="print one full dig-style response instead of "
+                          "the latency series")
+    dig.set_defaults(handler=_cmd_dig)
+
+    dep = sub.add_parser("deployments",
+                         help="list the evaluated DNS deployments")
+    dep.set_defaults(handler=_cmd_deployments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The paper's contribution: MEC-CDN assembly and evaluated deployments.
+
+* :mod:`repro.core.meccdn` — :class:`MecCdnSite` wires the orchestrator,
+  CoreDNS L-DNS (split namespace, stub domain), the ATC-style C-DNS, and
+  cache pods into the Figure 4 system.
+* :mod:`repro.core.deployments` — the LTE testbed and the six DNS
+  deployment options evaluated in Figure 5.
+* :mod:`repro.core.fallback` — the client-side strategies for non-MEC
+  names: multicast race and forward-on-timeout.
+"""
+
+from repro.core.meccdn import MecCdnSite
+from repro.core.deployments import (
+    DEPLOYMENT_KEYS,
+    DEPLOYMENT_LABELS,
+    Testbed,
+    build_testbed,
+)
+from repro.core.fallback import FallbackClient, FallbackResult
+from repro.core.resolution import EdgeAwareClient, TieredResolution
+
+__all__ = [
+    "EdgeAwareClient",
+    "TieredResolution",
+    "MecCdnSite",
+    "DEPLOYMENT_KEYS",
+    "DEPLOYMENT_LABELS",
+    "Testbed",
+    "build_testbed",
+    "FallbackClient",
+    "FallbackResult",
+]

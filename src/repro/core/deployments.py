@@ -1,0 +1,322 @@
+"""The LTE testbed and the six DNS deployments of Figure 5.
+
+Topology (one instance per deployment run, all latencies one-way):
+
+    UE ==radio== eNB --s1-- S-GW --s5-- P-GW ---+--- mec nodes (cluster)
+                                                +--- lan-cdns   (~2.8 ms)
+                                                +--- core L-DNS (~52 ms)
+                                                +--- cloud      (~23 ms)
+                                                +--- google / cloudflare
+
+Calibration: the paper's Figure 5 bar means are (read off the plot and
+the text) roughly 14.4 / 19.4 / 60.9 / 114.6 / 112.5 / 128.4 ms, with the
+wireless LTE leg contributing ~10 ms of round trip to every bar and
+dominating the MEC bar.  Link constants below are chosen so the simulated
+means land near those targets; the claims the reproduction must preserve
+are *relative*: the ordering, the ~5 ms MEC-vs-LAN gap, the ~9x
+MEC-vs-cloud-DNS gap, and the 20 ms line crossing between the second and
+third bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.cdn.content import ContentCatalog
+from repro.cdn.router import CoverageZone, TrafficRouter
+from repro.core.meccdn import MecCdnSite
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import A
+from repro.dnswire.types import RecordType
+from repro.mobile.core import EvolvedPacketCore
+from repro.mobile.profiles import AccessProfile
+from repro.mobile.ue import UserEquipment
+from repro.netsim.latency import Constant, lognormal_from_median_p95
+from repro.netsim.network import Network
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Endpoint
+from repro.netsim.rand import RandomStreams
+from repro.resolver.cache import DnsCache
+from repro.resolver.forwarder import ForwardingResolver
+
+#: The six Figure 5 bars, in paper order.
+DEPLOYMENT_KEYS = (
+    "mec-ldns-mec-cdns",
+    "mec-ldns-lan-cdns",
+    "mec-ldns-wan-cdns",
+    "lan-ldns",
+    "google-dns",
+    "cloudflare-dns",
+)
+
+DEPLOYMENT_LABELS: Dict[str, str] = {
+    "mec-ldns-mec-cdns": "MEC L-DNS w/ MEC C-DNS",
+    "mec-ldns-lan-cdns": "MEC L-DNS w/ LAN C-DNS",
+    "mec-ldns-wan-cdns": "MEC L-DNS w/ WAN C-DNS",
+    "lan-ldns": "LAN L-DNS",
+    "google-dns": "Google DNS",
+    "cloudflare-dns": "Cloudflare DNS",
+}
+
+#: The delivery domain and content name from the paper's prototype (§4).
+CDN_DOMAIN = Name("mycdn.ciab.test")
+QUERY_NAME = Name("video.demo1.mycdn.ciab.test")
+
+#: srsLTE testbed radio profile: ~5 ms one-way UE->eNB with a moderate
+#: tail, so the full UE<->P-GW wireless round trip is ~10 ms, matching
+#: the paper's "approx. 10 ms" wireless component.
+TESTBED_LTE = AccessProfile(
+    name="testbed-lte",
+    radio=lognormal_from_median_p95(4.2, 6.5, shift=2.0),
+    access_backhaul=Constant(0.5),
+    description="srsLTE B200mini testbed radio",
+)
+
+#: A 5G variant for the paper's "future 5G deployments will drastically
+#: reduce this time" projection.
+TESTBED_5G = AccessProfile(
+    name="testbed-5g",
+    radio=lognormal_from_median_p95(0.8, 1.6, shift=0.3),
+    access_backhaul=Constant(0.2),
+    description="hypothetical 5G NR swap-in for the same testbed",
+)
+
+# One-way WAN/LAN latencies (ms), tuned against the Figure 5 targets.
+LAN_CDNS_LATENCY = lognormal_from_median_p95(2.6, 4.5, shift=1.0)
+WAN_CDNS_LATENCY = lognormal_from_median_p95(23.0, 33.0, shift=12.0)
+CARRIER_LDNS_LATENCY = lognormal_from_median_p95(50.7, 73.0, shift=30.0)
+GOOGLE_DNS_LATENCY = lognormal_from_median_p95(49.7, 71.0, shift=30.0)
+CLOUDFLARE_DNS_LATENCY = lognormal_from_median_p95(57.0, 86.0, shift=33.0)
+
+#: Extra per-query processing cost when ECS is enabled (option parsing,
+#: scope computation) at each DNS hop.
+ECS_PROCESSING_OVERHEAD_MS = 0.15
+
+
+class Testbed(NamedTuple):
+    """One instantiated deployment, ready to be measured."""
+
+    key: str
+    label: str
+    sim: Simulator
+    network: Network
+    ue: UserEquipment
+    epc: EvolvedPacketCore
+    query_name: Name
+    #: Host name where the tcpdump-analog trace should attach (the P-GW).
+    gateway_host: str
+    #: The MEC site, present for the three MEC L-DNS deployments.
+    mec_site: Optional[MecCdnSite]
+    #: The address the query must resolve to (the MEC edge cache), used
+    #: by the ECS experiment's correctness check where applicable.
+    expected_cache_ips: List[str]
+
+
+def build_testbed(deployment: str, seed: int = 0, ecs: bool = False,
+                  profile: AccessProfile = TESTBED_LTE) -> Testbed:
+    """Build the testbed configured for one Figure 5 deployment."""
+    if deployment not in DEPLOYMENT_KEYS:
+        raise ValueError(f"unknown deployment {deployment!r}; "
+                         f"expected one of {DEPLOYMENT_KEYS}")
+    sim = Simulator()
+    network = Network(sim, RandomStreams(seed))
+
+    # Mobile access: UE == eNB -- S-GW -- P-GW.
+    epc = EvolvedPacketCore(
+        network, "lte", profile,
+        sgw_ip="10.40.0.2", pgw_ip="10.40.0.1",
+        public_ips=["198.51.100.1"])
+    enb = epc.add_base_station("enb-1", "10.40.1.1")
+    ue = UserEquipment(network, "ue-1", "10.45.0.2")
+    enb.attach(ue)
+
+    # MEC cluster nodes hang off the P-GW LAN (the paper's collocated
+    # machines managed by k8s).
+    nodes = []
+    for index in range(3):
+        node = network.add_host(f"mec-node-{index}", f"10.40.2.{10 + index}")
+        network.add_link(node.name, epc.pgw.name, Constant(0.25),
+                         name=f"mec-lan-{index}")
+        nodes.append(node)
+    for a, b in ((0, 1), (1, 2)):
+        network.add_link(nodes[a].name, nodes[b].name, Constant(0.2),
+                         name=f"mec-fabric-{a}{b}")
+
+    catalog = ContentCatalog()
+    catalog.add_object(QUERY_NAME, "/seg1.ts", 500_000)
+
+    processing = (Constant(0.4 + ECS_PROCESSING_OVERHEAD_MS) if ecs
+                  else Constant(0.4))
+
+    builder = _BUILDERS[deployment]
+    mec_site, dns_target, expected_ips = builder(
+        network, epc, nodes, catalog, ecs, processing)
+    ue.switch_dns(dns_target)
+    return Testbed(
+        key=deployment,
+        label=DEPLOYMENT_LABELS[deployment],
+        sim=sim, network=network, ue=ue, epc=epc,
+        query_name=QUERY_NAME,
+        gateway_host=epc.gateway_name,
+        mec_site=mec_site,
+        expected_cache_ips=expected_ips)
+
+
+# ---------------------------------------------------------------------------
+# Per-deployment builders
+# ---------------------------------------------------------------------------
+
+def _build_mec_site(network, nodes, catalog, ecs, processing,
+                    cdns_endpoint_override=None) -> MecCdnSite:
+    return MecCdnSite(
+        network, "edge1", nodes, catalog,
+        cdn_domain=CDN_DOMAIN,
+        client_networks=["10.45.0.0/16", "10.40.0.0/16", "10.233.64.0/18"],
+        cache_count=2,
+        warm_caches=True,
+        ecs_enabled=ecs,
+        answer_ttl=0,  # ATC-style: route every query, never pin a cache
+        ldns_processing_delay=processing,
+        cdns_processing_delay=processing,
+        cdns_endpoint_override=cdns_endpoint_override)
+
+
+def _external_cdns(network, host_name, ip, link_to, latency, caches, ecs,
+                   processing) -> TrafficRouter:
+    """A C-DNS outside the cluster (LAN or WAN), as ETSI/3GPP propose."""
+    host = network.add_host(host_name, ip)
+    network.add_link(host_name, link_to, latency, name=f"link-{host_name}")
+    zone = CoverageZone("all", ["0.0.0.0/0"], caches)
+    return TrafficRouter(network, host, CDN_DOMAIN, zones=[zone],
+                         answer_ttl=0, ecs_enabled=ecs,
+                         processing_delay=processing)
+
+
+def _deploy_mec_mec(network, epc, nodes, catalog, ecs, processing):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+    return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
+
+
+def _deploy_mec_lan(network, epc, nodes, catalog, ecs, processing):
+    # L-DNS at MEC, C-DNS outside the k8s cluster on the same LAN: the
+    # best case of the ETSI/3GPP-style split the paper compares against.
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           cdns_endpoint_override=Endpoint("10.41.0.53", 53))
+    _external_cdns(network, "lan-cdns", "10.41.0.53", epc.pgw.name,
+                   LAN_CDNS_LATENCY, site.caches, ecs, processing)
+    return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
+
+
+def _deploy_mec_wan(network, epc, nodes, catalog, ecs, processing):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           cdns_endpoint_override=Endpoint("203.0.113.53", 53))
+    _external_cdns(network, "wan-cdns", "203.0.113.53", epc.pgw.name,
+                   WAN_CDNS_LATENCY, site.caches, ecs, processing)
+    return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
+
+
+def _warmed_resolver(network, host_name, ip, link_to, latency, processing,
+                     cache_answer_ip) -> ForwardingResolver:
+    """A resolver with the CDN A record already cached.
+
+    Models the paper's observation that for established CDN domains "the
+    A records TTL never expires at L-DNS": the measured latency is the
+    path to the resolver plus its lookup, with no upstream traversal.
+    """
+    host = network.add_host(host_name, ip)
+    network.add_link(host_name, link_to, latency, name=f"link-{host_name}")
+    cache = DnsCache()
+    cache.put_records(
+        [ResourceRecord(QUERY_NAME, RecordType.A, 86400, A(cache_answer_ip))],
+        now=0.0)
+    return ForwardingResolver(network, host,
+                              upstreams=[Endpoint("203.0.113.53", 53)],
+                              cache=cache, processing_delay=processing)
+
+
+def _deploy_lan_ldns(network, epc, nodes, catalog, ecs, processing):
+    # The operator's L-DNS "connected via LAN behind the core network".
+    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+    cache_ip = site.caches[0].endpoint.ip
+    resolver = _warmed_resolver(network, "carrier-ldns", "172.20.0.53",
+                                epc.pgw.name, CARRIER_LDNS_LATENCY,
+                                processing, cache_ip)
+    return site, resolver.endpoint, [cache_ip]
+
+
+def _deploy_google(network, epc, nodes, catalog, ecs, processing):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+    cache_ip = site.caches[0].endpoint.ip
+    resolver = _warmed_resolver(network, "google-dns", "8.8.8.8",
+                                epc.pgw.name, GOOGLE_DNS_LATENCY,
+                                processing, cache_ip)
+    return site, resolver.endpoint, [cache_ip]
+
+
+def _deploy_cloudflare(network, epc, nodes, catalog, ecs, processing):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+    cache_ip = site.caches[0].endpoint.ip
+    resolver = _warmed_resolver(network, "cloudflare-dns", "1.1.1.1",
+                                epc.pgw.name, CLOUDFLARE_DNS_LATENCY,
+                                processing, cache_ip)
+    return site, resolver.endpoint, [cache_ip]
+
+
+def build_custom_cdns_testbed(cdns_one_way_ms: float, seed: int = 0,
+                              ecs: bool = False,
+                              profile: AccessProfile = TESTBED_LTE) -> Testbed:
+    """The MEC-L-DNS testbed with the C-DNS at an arbitrary distance.
+
+    Interpolates between the Figure 5 deployments: ``cdns_one_way_ms`` is
+    the one-way latency from the P-GW to the C-DNS host.  Used by the
+    envelope-sweep experiment to locate where resolution crosses the
+    paper's 20 ms envelope.
+    """
+    if cdns_one_way_ms < 0:
+        raise ValueError("C-DNS distance cannot be negative")
+    sim = Simulator()
+    network = Network(sim, RandomStreams(seed))
+    epc = EvolvedPacketCore(
+        network, "lte", profile,
+        sgw_ip="10.40.0.2", pgw_ip="10.40.0.1",
+        public_ips=["198.51.100.1"])
+    enb = epc.add_base_station("enb-1", "10.40.1.1")
+    ue = UserEquipment(network, "ue-1", "10.45.0.2")
+    enb.attach(ue)
+    nodes = []
+    for index in range(3):
+        node = network.add_host(f"mec-node-{index}", f"10.40.2.{10 + index}")
+        network.add_link(node.name, epc.pgw.name, Constant(0.25),
+                         name=f"mec-lan-{index}")
+        nodes.append(node)
+    for a, b in ((0, 1), (1, 2)):
+        network.add_link(nodes[a].name, nodes[b].name, Constant(0.2),
+                         name=f"mec-fabric-{a}{b}")
+    catalog = ContentCatalog()
+    catalog.add_object(QUERY_NAME, "/seg1.ts", 500_000)
+    processing = (Constant(0.4 + ECS_PROCESSING_OVERHEAD_MS) if ecs
+                  else Constant(0.4))
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           cdns_endpoint_override=Endpoint("203.0.113.53", 53))
+    _external_cdns(network, "custom-cdns", "203.0.113.53", epc.pgw.name,
+                   Constant(cdns_one_way_ms), site.caches, ecs, processing)
+    ue.switch_dns(site.ldns_endpoint)
+    return Testbed(
+        key=f"custom-cdns-{cdns_one_way_ms}ms",
+        label=f"MEC L-DNS w/ C-DNS at {cdns_one_way_ms:.1f}ms",
+        sim=sim, network=network, ue=ue, epc=epc,
+        query_name=QUERY_NAME,
+        gateway_host=epc.gateway_name,
+        mec_site=site,
+        expected_cache_ips=[cache.endpoint.ip for cache in site.caches])
+
+
+_BUILDERS = {
+    "mec-ldns-mec-cdns": _deploy_mec_mec,
+    "mec-ldns-lan-cdns": _deploy_mec_lan,
+    "mec-ldns-wan-cdns": _deploy_mec_wan,
+    "lan-ldns": _deploy_lan_ldns,
+    "google-dns": _deploy_google,
+    "cloudflare-dns": _deploy_cloudflare,
+}

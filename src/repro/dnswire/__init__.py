@@ -1,0 +1,78 @@
+"""DNS wire protocol implementation (RFC 1035 subset + EDNS0/ECS).
+
+This package implements the parts of the DNS protocol that the MEC-CDN
+reproduction exercises end to end:
+
+* :mod:`repro.dnswire.name` — domain names with the RFC 1035 label rules.
+* :mod:`repro.dnswire.types` — record type / class / opcode / rcode registries.
+* :mod:`repro.dnswire.wire` — wire buffers with name compression.
+* :mod:`repro.dnswire.rdata` — typed record data (A, AAAA, CNAME, NS, SOA,
+  PTR, MX, TXT, SRV, and a generic fallback).
+* :mod:`repro.dnswire.edns` — EDNS0 OPT pseudo-records and the Client Subnet
+  option (RFC 7871), which the paper evaluates in §4.
+* :mod:`repro.dnswire.message` — full query/response message codec.
+* :mod:`repro.dnswire.zone` — zone data with lookup semantics and a
+  master-file parser.
+
+Messages produced by the simulated servers are always round-tripped through
+the wire codec, so the protocol layer is exercised on every simulated query.
+"""
+
+from repro.dnswire.name import Name, ROOT
+from repro.dnswire.types import RecordType, RecordClass, Opcode, Rcode
+from repro.dnswire.message import (
+    Flags,
+    Question,
+    ResourceRecord,
+    Message,
+    make_query,
+    make_response,
+)
+from repro.dnswire.rdata import (
+    Rdata,
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    PTR,
+    MX,
+    TXT,
+    SOA,
+    SRV,
+    GenericRdata,
+)
+from repro.dnswire.edns import ClientSubnet, EdnsOptionCode, Edns
+from repro.dnswire.zone import Zone, LookupResult, LookupStatus, parse_master_file
+
+__all__ = [
+    "Name",
+    "ROOT",
+    "RecordType",
+    "RecordClass",
+    "Opcode",
+    "Rcode",
+    "Flags",
+    "Question",
+    "ResourceRecord",
+    "Message",
+    "make_query",
+    "make_response",
+    "Rdata",
+    "A",
+    "AAAA",
+    "CNAME",
+    "NS",
+    "PTR",
+    "MX",
+    "TXT",
+    "SOA",
+    "SRV",
+    "GenericRdata",
+    "ClientSubnet",
+    "EdnsOptionCode",
+    "Edns",
+    "Zone",
+    "LookupResult",
+    "LookupStatus",
+    "parse_master_file",
+]

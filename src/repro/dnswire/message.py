@@ -1,0 +1,378 @@
+"""DNS message codec: header, question, resource records, full messages.
+
+Every message moving between simulated hosts is serialised by
+:meth:`Message.to_wire` and re-parsed with :meth:`Message.from_wire`, so
+compression, EDNS rendering, and section bookkeeping are exercised on every
+query the experiments run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dnswire.edns import Edns
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import Rdata, parse_rdata
+from repro.dnswire.types import Opcode, Rcode, RecordClass, RecordType
+from repro.dnswire.wire import WireReader, WireWriter
+from repro.errors import WireFormatError
+
+
+class Flags:
+    """The header flag bits (QR, AA, TC, RD, RA, AD, CD)."""
+
+    __slots__ = ("qr", "aa", "tc", "rd", "ra", "ad", "cd")
+
+    def __init__(self, qr: bool = False, aa: bool = False, tc: bool = False,
+                 rd: bool = True, ra: bool = False, ad: bool = False,
+                 cd: bool = False) -> None:
+        self.qr = qr
+        self.aa = aa
+        self.tc = tc
+        self.rd = rd
+        self.ra = ra
+        self.ad = ad
+        self.cd = cd
+
+    def to_bits(self) -> int:
+        """Pack the flag booleans into their header bit positions."""
+        bits = 0
+        if self.qr:
+            bits |= 0x8000
+        if self.aa:
+            bits |= 0x0400
+        if self.tc:
+            bits |= 0x0200
+        if self.rd:
+            bits |= 0x0100
+        if self.ra:
+            bits |= 0x0080
+        if self.ad:
+            bits |= 0x0020
+        if self.cd:
+            bits |= 0x0010
+        return bits
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "Flags":
+        return cls(
+            qr=bool(bits & 0x8000),
+            aa=bool(bits & 0x0400),
+            tc=bool(bits & 0x0200),
+            rd=bool(bits & 0x0100),
+            ra=bool(bits & 0x0080),
+            ad=bool(bits & 0x0020),
+            cd=bool(bits & 0x0010),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Flags):
+            return NotImplemented
+        return self.to_bits() == other.to_bits()
+
+    def __repr__(self) -> str:
+        names = [flag for flag in ("qr", "aa", "tc", "rd", "ra", "ad", "cd")
+                 if getattr(self, flag)]
+        return f"Flags({' '.join(names) or 'none'})"
+
+
+class Question:
+    """A question section entry: name, type, class."""
+
+    __slots__ = ("name", "rtype", "rclass")
+
+    def __init__(self, name: Name, rtype: RecordType,
+                 rclass: RecordClass = RecordClass.IN) -> None:
+        self.name = name
+        self.rtype = RecordType(rtype)
+        self.rclass = RecordClass(rclass)
+
+    def to_wire(self, writer: WireWriter) -> None:
+        """Serialise to wire format."""
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rtype))
+        writer.write_u16(int(self.rclass))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "Question":
+        name = reader.read_name()
+        rtype = reader.read_u16()
+        rclass = reader.read_u16()
+        return cls(name, RecordType(rtype), RecordClass(rclass))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Question):
+            return NotImplemented
+        return (self.name, self.rtype, self.rclass) == \
+               (other.name, other.rtype, other.rclass)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rtype, self.rclass))
+
+    def __repr__(self) -> str:
+        return f"Question({self.name} {self.rclass.name} {self.rtype.name})"
+
+
+class ResourceRecord:
+    """A single resource record with typed rdata."""
+
+    __slots__ = ("name", "rtype", "rclass", "ttl", "rdata")
+
+    def __init__(self, name: Name, rtype: RecordType, ttl: int, rdata: Rdata,
+                 rclass: RecordClass = RecordClass.IN) -> None:
+        self.name = name
+        self.rtype = RecordType(rtype)
+        self.rclass = RecordClass(rclass)
+        self.ttl = ttl
+        self.rdata = rdata
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """A copy with a different TTL (used when serving from cache)."""
+        return ResourceRecord(self.name, self.rtype, ttl, self.rdata, self.rclass)
+
+    def to_wire(self, writer: WireWriter) -> None:
+        """Serialise to wire format."""
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rtype))
+        writer.write_u16(int(self.rclass))
+        writer.write_u32(self.ttl)
+        length_at = writer.reserve_u16()
+        start = len(writer)
+        self.rdata.to_wire(writer)
+        writer.patch_u16(length_at, len(writer) - start)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "ResourceRecord":
+        name = reader.read_name()
+        rtype = reader.read_u16()
+        rclass = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        rdata = parse_rdata(rtype, reader, rdlength)
+        try:
+            rtype_enum = RecordType(rtype)
+        except ValueError:
+            rtype_enum = RecordType.ANY  # generic passthrough keeps true type in rdata
+        return cls(name, rtype_enum, ttl, rdata, RecordClass(rclass))
+
+    def to_text(self) -> str:
+        """Render in presentation (zone-file) format."""
+        return (f"{self.name.to_text()} {self.ttl} {self.rclass.name} "
+                f"{self.rtype.name} {self.rdata.to_text()}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceRecord):
+            return NotImplemented
+        return (self.name, self.rtype, self.rclass, self.ttl, self.rdata) == \
+               (other.name, other.rtype, other.rclass, other.ttl, other.rdata)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rtype, self.rclass, self.ttl, self.rdata))
+
+    def __repr__(self) -> str:
+        return f"RR({self.to_text()})"
+
+
+class Message:
+    """A complete DNS message with four sections and optional EDNS."""
+
+    def __init__(self, msg_id: int = 0, flags: Optional[Flags] = None,
+                 opcode: Opcode = Opcode.QUERY, rcode: Rcode = Rcode.NOERROR) -> None:
+        self.msg_id = msg_id
+        self.flags = flags if flags is not None else Flags()
+        self.opcode = opcode
+        self.rcode = rcode
+        self.questions: List[Question] = []
+        self.answers: List[ResourceRecord] = []
+        self.authorities: List[ResourceRecord] = []
+        self.additionals: List[ResourceRecord] = []
+        self.edns: Optional[Edns] = None
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def question(self) -> Question:
+        """The sole question; raises if the message has none."""
+        if not self.questions:
+            raise WireFormatError("message has no question section entry")
+        return self.questions[0]
+
+    def answer_addresses(self) -> List[str]:
+        """All A/AAAA addresses in the answer section, in order."""
+        addresses = []
+        for record in self.answers:
+            if record.rtype in (RecordType.A, RecordType.AAAA):
+                addresses.append(record.rdata.address)  # type: ignore[attr-defined]
+        return addresses
+
+    def answer_rrs(self, rtype: RecordType) -> List[ResourceRecord]:
+        """Answer-section records of the given type, in order."""
+        return [record for record in self.answers if record.rtype == rtype]
+
+    # -- codec --------------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Serialise the full message (with name compression and OPT)."""
+        writer = WireWriter()
+        writer.write_u16(self.msg_id)
+        bits = self.flags.to_bits()
+        bits |= (int(self.opcode) & 0xF) << 11
+        bits |= int(self.rcode) & 0xF
+        writer.write_u16(bits)
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authorities))
+        additional_count = len(self.additionals) + (1 if self.edns else 0)
+        writer.write_u16(additional_count)
+        for question in self.questions:
+            question.to_wire(writer)
+        for section in (self.answers, self.authorities, self.additionals):
+            for record in section:
+                record.to_wire(writer)
+        if self.edns:
+            self._write_opt(writer)
+        return writer.getvalue()
+
+    def _write_opt(self, writer: WireWriter) -> None:
+        assert self.edns is not None
+        writer.write_u8(0)  # root owner name
+        writer.write_u16(int(RecordType.OPT))
+        writer.write_u16(self.edns.udp_payload)  # CLASS carries payload size
+        extended_rcode = (int(self.rcode) >> 4) & 0xFF
+        ttl = (extended_rcode << 24) | (self.edns.version << 16)
+        if self.edns.dnssec_ok:
+            ttl |= 0x8000
+        writer.write_u32(ttl)
+        options = self.edns.options_to_wire()
+        writer.write_u16(len(options))
+        writer.write_bytes(options)
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        """Parse a complete message; raises WireFormatError on any defect.
+
+        Field values outside the known registries (opcode, class, ...)
+        are protocol-level garbage for this implementation and surface as
+        WireFormatError, so servers answer FORMERR instead of crashing.
+        """
+        try:
+            return cls._from_wire(data)
+        except ValueError as error:
+            raise WireFormatError(f"unsupported field value: {error}") \
+                from error
+
+    @classmethod
+    def _from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg = cls()
+        msg.msg_id = reader.read_u16()
+        bits = reader.read_u16()
+        msg.flags = Flags.from_bits(bits)
+        msg.opcode = Opcode((bits >> 11) & 0xF)
+        rcode_low = bits & 0xF
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        for _ in range(qdcount):
+            msg.questions.append(Question.from_wire(reader))
+        for _ in range(ancount):
+            msg.answers.append(ResourceRecord.from_wire(reader))
+        for _ in range(nscount):
+            msg.authorities.append(ResourceRecord.from_wire(reader))
+        rcode_high = 0
+        for _ in range(arcount):
+            mark = reader.offset
+            name = reader.read_name()
+            rtype = reader.read_u16()
+            if rtype == int(RecordType.OPT):
+                if not name.is_root:
+                    raise WireFormatError("OPT owner name must be root")
+                payload = reader.read_u16()
+                ttl = reader.read_u32()
+                rdlength = reader.read_u16()
+                options = Edns.options_from_wire(reader.read_bytes(rdlength))
+                msg.edns = Edns(
+                    udp_payload=payload,
+                    version=(ttl >> 16) & 0xFF,
+                    dnssec_ok=bool(ttl & 0x8000),
+                    options=options,
+                )
+                rcode_high = (ttl >> 24) & 0xFF
+            else:
+                reader.seek(mark)
+                msg.additionals.append(ResourceRecord.from_wire(reader))
+        msg.rcode = Rcode((rcode_high << 4) | rcode_low)
+        return msg
+
+    def __repr__(self) -> str:
+        return (f"Message(id={self.msg_id}, {self.opcode.name}, "
+                f"{self.rcode.name}, {self.flags!r}, "
+                f"q={len(self.questions)} an={len(self.answers)} "
+                f"ns={len(self.authorities)} ar={len(self.additionals)})")
+
+    def to_text(self) -> str:
+        """dig-style presentation of the whole message."""
+        flag_names = [name for name in ("qr", "aa", "tc", "rd", "ra",
+                                        "ad", "cd")
+                      if getattr(self.flags, name)]
+        lines = [
+            f";; ->>HEADER<<- opcode: {self.opcode.name}, "
+            f"status: {self.rcode.name}, id: {self.msg_id}",
+            f";; flags: {' '.join(flag_names)}; "
+            f"QUERY: {len(self.questions)}, ANSWER: {len(self.answers)}, "
+            f"AUTHORITY: {len(self.authorities)}, "
+            f"ADDITIONAL: {len(self.additionals) + (1 if self.edns else 0)}",
+        ]
+        if self.edns is not None:
+            lines.append(";; OPT PSEUDOSECTION:")
+            lines.append(f"; EDNS: version: {self.edns.version}, "
+                         f"udp: {self.edns.udp_payload}"
+                         + (", flags: do" if self.edns.dnssec_ok else ""))
+            ecs = self.edns.client_subnet
+            if ecs is not None:
+                lines.append(f"; CLIENT-SUBNET: {ecs.address}/"
+                             f"{ecs.source_prefix}/{ecs.scope_prefix}")
+        if self.questions:
+            lines.append(";; QUESTION SECTION:")
+            lines.extend(f";{question.name.to_text()}\t\t"
+                         f"{question.rclass.name}\t{question.rtype.name}"
+                         for question in self.questions)
+        for title, section in (("ANSWER", self.answers),
+                               ("AUTHORITY", self.authorities),
+                               ("ADDITIONAL", self.additionals)):
+            if section:
+                lines.append(f";; {title} SECTION:")
+                lines.extend(record.to_text() for record in section)
+        return "\n".join(lines)
+
+
+def make_query(name: Name, rtype: RecordType = RecordType.A, msg_id: int = 0,
+               recursion_desired: bool = True,
+               edns: Optional[Edns] = None) -> Message:
+    """Build a standard query message for ``name``/``rtype``."""
+    msg = Message(msg_id=msg_id, flags=Flags(rd=recursion_desired))
+    msg.questions.append(Question(name, rtype))
+    msg.edns = edns
+    return msg
+
+
+def make_response(query: Message, rcode: Rcode = Rcode.NOERROR,
+                  authoritative: bool = False,
+                  recursion_available: bool = False,
+                  answers: Sequence[ResourceRecord] = (),
+                  authorities: Sequence[ResourceRecord] = (),
+                  additionals: Sequence[ResourceRecord] = ()) -> Message:
+    """Build a response echoing ``query``'s id and question."""
+    msg = Message(msg_id=query.msg_id, rcode=rcode)
+    msg.flags = Flags(qr=True, aa=authoritative, rd=query.flags.rd,
+                      ra=recursion_available)
+    msg.opcode = query.opcode
+    msg.questions = list(query.questions)
+    msg.answers = list(answers)
+    msg.authorities = list(authorities)
+    msg.additionals = list(additionals)
+    if query.edns is not None:
+        # Mirror the client's EDNS; servers adjust options (e.g. ECS scope).
+        msg.edns = Edns(options=list(query.edns.options))
+    return msg

@@ -1,0 +1,194 @@
+"""Domain names with RFC 1035 label rules.
+
+A :class:`Name` is an immutable sequence of labels.  Absolute names end with
+the empty root label; the module-level constant :data:`ROOT` is the root
+name itself.  Comparisons, hashing, and subdomain checks are
+case-insensitive, as required by RFC 4343, while the original spelling is
+preserved for display.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+def _validate_label(label: bytes) -> None:
+    if len(label) == 0:
+        raise NameError_("empty label (root label is only allowed last)")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label exceeds {MAX_LABEL_LENGTH} octets: {label!r}")
+
+
+class Name:
+    """An immutable DNS domain name.
+
+    Construct from labels with :meth:`from_labels` or from presentation
+    format with :meth:`from_text` (also available as ``Name("example.com.")``).
+    """
+
+    __slots__ = ("_labels", "_folded")
+
+    def __init__(self, text: str = "") -> None:
+        labels = _text_to_labels(text)
+        self._init_from(labels)
+
+    # -- constructors -------------------------------------------------------
+
+    def _init_from(self, labels: Tuple[bytes, ...]) -> None:
+        total = sum(len(label) + 1 for label in labels) + 1
+        if total > MAX_NAME_LENGTH:
+            raise NameError_(f"name exceeds {MAX_NAME_LENGTH} octets")
+        for label in labels:
+            _validate_label(label)
+        self._labels = labels
+        self._folded = tuple(label.lower() for label in labels)
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[bytes]) -> "Name":
+        """Build a name from an iterable of label byte strings (no root label)."""
+        name = cls.__new__(cls)
+        name._init_from(tuple(labels))
+        return name
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse presentation format, e.g. ``"www.example.com."``."""
+        return cls(text)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[bytes, ...]:
+        """The labels, most-specific first, excluding the root label."""
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def to_text(self) -> str:
+        """Render in absolute presentation format (trailing dot)."""
+        if self.is_root:
+            return "."
+        return ".".join(label.decode("ascii") for label in self._labels) + "."
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # -- comparisons (case-insensitive) --------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __hash__(self) -> int:
+        return hash(self._folded)
+
+    def __lt__(self, other: "Name") -> bool:
+        # Canonical DNS ordering compares label sequences from the root down.
+        return tuple(reversed(self._folded)) < tuple(reversed(other._folded))
+
+    # -- structure ------------------------------------------------------------
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed.
+
+        Raises :class:`repro.errors.NameError_` for the root name.
+        """
+        if self.is_root:
+            raise NameError_("the root name has no parent")
+        return Name.from_labels(self._labels[1:])
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if ``self`` equals ``other`` or sits below it."""
+        if len(other._folded) > len(self._folded):
+            return False
+        if not other._folded:
+            return True
+        return self._folded[-len(other._folded):] == other._folded
+
+    def relativize(self, origin: "Name") -> Tuple[bytes, ...]:
+        """Labels of ``self`` relative to ``origin``.
+
+        Raises :class:`repro.errors.NameError_` if ``self`` is not under
+        ``origin``.
+        """
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not a subdomain of {origin}")
+        if origin.is_root:
+            return self._labels
+        return self._labels[: len(self._labels) - len(origin._labels)]
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        """``self`` + ``suffix`` (e.g. relative name + origin)."""
+        return Name.from_labels(self._labels + suffix._labels)
+
+    def prepend(self, label: str) -> "Name":
+        """A new name with ``label`` added on the left."""
+        return Name.from_labels((label.encode("ascii"),) + self._labels)
+
+    def split_prefix(self, depth: int) -> Tuple[Tuple[bytes, ...], "Name"]:
+        """Split into (leftmost ``depth`` labels, remaining name)."""
+        if depth > len(self._labels):
+            raise NameError_(f"cannot split {depth} labels off {self}")
+        return self._labels[:depth], Name.from_labels(self._labels[depth:])
+
+    def wire_length(self) -> int:
+        """Octets needed to encode this name without compression."""
+        return sum(len(label) + 1 for label in self._labels) + 1
+
+
+def _text_to_labels(text: str) -> Tuple[bytes, ...]:
+    stripped = text.strip()
+    if stripped in ("", "."):
+        return ()
+    if stripped.endswith("."):
+        stripped = stripped[:-1]
+    labels = []
+    for part in stripped.split("."):
+        try:
+            labels.append(part.encode("ascii"))
+        except UnicodeEncodeError:
+            raise NameError_(f"non-ASCII label in {text!r}") from None
+    return tuple(labels)
+
+
+def derelativize(text: str, origin: Optional[Name] = None) -> Name:
+    """Parse ``text``; append ``origin`` unless the text is absolute.
+
+    ``"@"`` denotes the origin itself, following master-file convention.
+    """
+    token = text.strip()
+    if token == "@":
+        if origin is None:
+            raise NameError_("'@' used without an origin")
+        return origin
+    if token.endswith(".") or origin is None:
+        return Name(token)
+    return Name(token).concatenate(origin)
+
+
+def reverse_pointer(ip: str) -> Name:
+    """The ``in-addr.arpa`` name for an IPv4 address.
+
+    Reverse zones let operators PTR-map their cache and router addresses,
+    and diagnostics resolve addresses back to names.
+    """
+    import ipaddress
+    return Name(ipaddress.IPv4Address(ip).reverse_pointer)
+
+
+#: The root domain name.
+ROOT = Name(".")

@@ -1,0 +1,177 @@
+"""Wire-format buffers with RFC 1035 §4.1.4 name compression.
+
+:class:`WireWriter` appends big-endian integers, raw bytes, and domain
+names, compressing repeated name suffixes with 2-octet pointers.
+:class:`WireReader` is the mirror image, following compression pointers with
+loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.dnswire.name import MAX_NAME_LENGTH, Name
+from repro.errors import CompressionLoopError, TruncatedMessageError, WireFormatError
+
+#: A compression pointer is two octets with the top two bits set, leaving 14
+#: bits of offset, so only offsets below this bound are compressible.
+_MAX_POINTER_TARGET = 0x3FFF
+
+
+class WireWriter:
+    """Serialises DNS data, compressing names against earlier output."""
+
+    def __init__(self, enable_compression: bool = True) -> None:
+        self._parts = bytearray()
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+        self._enable_compression = enable_compression
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def getvalue(self) -> bytes:
+        """The octets written so far."""
+        return bytes(self._parts)
+
+    # -- primitive writers ----------------------------------------------------
+
+    def write_u8(self, value: int) -> None:
+        """Append one unsigned octet."""
+        self._parts += struct.pack("!B", value)
+
+    def write_u16(self, value: int) -> None:
+        """Append a big-endian 16-bit integer."""
+        self._parts += struct.pack("!H", value)
+
+    def write_u32(self, value: int) -> None:
+        """Append a big-endian 32-bit integer."""
+        self._parts += struct.pack("!I", value)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw octets."""
+        self._parts += data
+
+    # -- names -----------------------------------------------------------------
+
+    def write_name(self, name: Name, compress: bool = True) -> None:
+        """Write ``name``, emitting a pointer for any known suffix.
+
+        Compression keys are case-folded label tuples, so ``WWW.Example.com``
+        compresses against ``www.example.com`` (RFC 4343 allows this because
+        the protocol is case-insensitive; we keep the folded spelling).
+        """
+        labels = name.labels
+        index = 0
+        while index < len(labels):
+            suffix = tuple(label.lower() for label in labels[index:])
+            known = self._offsets.get(suffix) if (compress and self._enable_compression) else None
+            if known is not None:
+                self.write_u16(0xC000 | known)
+                return
+            if len(self._parts) <= _MAX_POINTER_TARGET:
+                self._offsets[suffix] = len(self._parts)
+            label = labels[index]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+            index += 1
+        self.write_u8(0)  # root label
+
+    # -- length-prefixed sections ----------------------------------------------
+
+    def reserve_u16(self) -> int:
+        """Write a 16-bit placeholder; return its offset for :meth:`patch_u16`."""
+        offset = len(self._parts)
+        self.write_u16(0)
+        return offset
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a reserved 16-bit slot (see ``reserve_u16``)."""
+        struct.pack_into("!H", self._parts, offset, value)
+
+
+class WireReader:
+    """Deserialises DNS data, following compression pointers."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def seek(self, offset: int) -> None:
+        """Move the read cursor to ``offset``."""
+        if not 0 <= offset <= len(self._data):
+            raise WireFormatError(f"seek out of range: {offset}")
+        self._offset = offset
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise TruncatedMessageError(
+                f"need {count} octets at offset {self._offset}, "
+                f"have {len(self._data) - self._offset}"
+            )
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    # -- primitive readers -------------------------------------------------------
+
+    def read_u8(self) -> int:
+        """Read one unsigned octet."""
+        return self._take(1)[0]
+
+    def read_u16(self) -> int:
+        """Read a big-endian 16-bit integer."""
+        return struct.unpack("!H", self._take(2))[0]
+
+    def read_u32(self) -> int:
+        """Read a big-endian 32-bit integer."""
+        return struct.unpack("!I", self._take(4))[0]
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` raw octets."""
+        return self._take(count)
+
+    # -- names ---------------------------------------------------------------------
+
+    def read_name(self) -> Name:
+        """Read a possibly-compressed name starting at the current offset."""
+        labels = []
+        total_length = 1
+        return_to = None
+        # Every jump target must be strictly below all previously visited
+        # positions; a strictly decreasing sequence of offsets cannot loop.
+        lowest_seen = self._offset
+        while True:
+            lowest_seen = min(lowest_seen, self._offset)
+            octet = self.read_u8()
+            if octet & 0xC0 == 0xC0:
+                pointer = ((octet & 0x3F) << 8) | self.read_u8()
+                if return_to is None:
+                    return_to = self._offset
+                if pointer >= lowest_seen:
+                    raise CompressionLoopError(
+                        f"compression pointer to {pointer} does not move "
+                        f"strictly backwards (lowest visited {lowest_seen})"
+                    )
+                self.seek(pointer)
+            elif octet & 0xC0:
+                raise WireFormatError(f"unsupported label type 0x{octet:02x}")
+            elif octet == 0:
+                break
+            else:
+                label = self.read_bytes(octet)
+                total_length += octet + 1
+                if total_length > MAX_NAME_LENGTH:
+                    raise WireFormatError("decoded name exceeds 255 octets")
+                labels.append(label)
+        if return_to is not None:
+            self.seek(return_to)
+        return Name.from_labels(labels)

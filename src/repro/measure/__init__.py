@@ -1,0 +1,20 @@
+"""Measurement harness: dig-style drivers and paper-style statistics.
+
+* :mod:`repro.measure.stats` — summary statistics with the paper's
+  8th-92nd percentile trimming (Figure 2's method).
+* :mod:`repro.measure.runner` — repeated-query drivers that split each
+  lookup into wireless vs. resolver time using a P-GW packet trace,
+  reproducing the paper's dig + tcpdump methodology (Figure 5).
+"""
+
+from repro.measure.stats import SummaryStats, summarize, trimmed, percentile
+from repro.measure.runner import QueryMeasurement, measure_deployment_queries
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "trimmed",
+    "percentile",
+    "QueryMeasurement",
+    "measure_deployment_queries",
+]

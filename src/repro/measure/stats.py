@@ -1,0 +1,82 @@
+"""Summary statistics with the paper's trimming convention.
+
+Figure 2's caption: "Each bar is based on at least 12 tests, only
+including the results from the 8th- to the 92th-percentile.  The maximum
+and minimum are marked with error lines."  :func:`trimmed` implements
+that window; :class:`SummaryStats` carries both the trimmed mean and the
+untrimmed extremes so the error lines can be drawn.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct} out of [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    # This form never leaves [ordered[low], ordered[high]] under floating
+    # point, unlike a*(1-w) + b*w.
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def trimmed(values: Sequence[float], low_pct: float = 8.0,
+            high_pct: float = 92.0) -> List[float]:
+    """Values within the [low_pct, high_pct] percentile window."""
+    if not values:
+        return []
+    low_cut = percentile(values, low_pct)
+    high_cut = percentile(values, high_pct)
+    return [value for value in values if low_cut <= value <= high_cut]
+
+
+class SummaryStats(NamedTuple):
+    """One bar of a Figure 2/5-style plot."""
+
+    count: int
+    mean: float          # trimmed mean (the bar height)
+    minimum: float       # untrimmed (the lower error line)
+    maximum: float       # untrimmed (the upper error line)
+    median: float
+    p95: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f}ms "
+                f"[{self.minimum:.1f}..{self.maximum:.1f}] "
+                f"p50={self.median:.1f} p95={self.p95:.1f}")
+
+
+def summarize(values: Sequence[float], trim: bool = True,
+              low_pct: float = 8.0, high_pct: float = 92.0) -> SummaryStats:
+    """Paper-style summary: trimmed central stats, untrimmed extremes."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    central = trimmed(values, low_pct, high_pct) if trim else list(values)
+    if not central:
+        central = list(values)
+    mean = sum(central) / len(central)
+    variance = (sum((value - mean) ** 2 for value in central) / len(central)
+                if len(central) > 1 else 0.0)
+    return SummaryStats(
+        count=len(values),
+        mean=mean,
+        minimum=min(values),
+        maximum=max(values),
+        median=percentile(central, 50),
+        p95=percentile(list(values), 95),
+        stdev=math.sqrt(variance),
+    )

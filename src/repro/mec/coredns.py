@@ -1,0 +1,241 @@
+"""The CoreDNS analog: a DNS server assembled from chain plugins.
+
+Mirrors the configuration the paper's prototype uses (§4):
+
+* the **kubernetes** plugin resolves ``<svc>.<ns>.svc.cluster.local``
+  to cluster IPs from the orchestrator's service registry;
+* a **stub-domain** entry ("Configuration of Stub-domain and upstream
+  nameserver using CoreDNS") sends the CDN delivery domain to the ATC
+  Traffic Router (C-DNS);
+* a default **forward** plugin sends everything else upstream — the
+  provider's L-DNS — so non-MEC names keep resolving;
+* a **cache** plugin serves repeat queries locally.
+
+A :class:`repro.mec.namespaces.SplitNamespacePlugin` can be placed at the
+front of the chain to implement the public/internal split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.dnswire.message import Message, ResourceRecord, make_query, make_response
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import A
+from repro.dnswire.types import Rcode, RecordType
+from repro.errors import QueryTimeout, WireFormatError
+from repro.mec.cluster import Orchestrator
+from repro.netsim.packet import Endpoint
+from repro.resolver.cache import CacheOutcome, DnsCache
+from repro.resolver.chain import Plugin, PluginChain, QueryContext
+from repro.resolver.server import DnsServer
+
+#: TTL for service-discovery answers (kubernetes plugin default is 5s).
+SERVICE_TTL = 5
+
+
+class CachePlugin(Plugin):
+    """Serves repeat queries from a local cache; fills it on the way out."""
+
+    name = "cache"
+
+    def __init__(self, cache: Optional[DnsCache] = None) -> None:
+        self.cache = cache if cache is not None else DnsCache()
+        self._owner: Optional[DnsServer] = None
+
+    def bind(self, owner: DnsServer) -> None:
+        """Attach the plugin to its owning server (for clock access)."""
+        self._owner = owner
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        """Chain hook: answer, annotate, or delegate to ``next_plugin``."""
+        assert self._owner is not None, "plugin not bound to a server"
+        now = self._owner.network.sim.now
+        cached = self.cache.get(ctx.qname, ctx.rtype, now)
+        if cached.outcome == CacheOutcome.HIT:
+            return make_response(ctx.query, recursion_available=True,
+                                 answers=cached.records)
+        if cached.outcome == CacheOutcome.NEGATIVE_NXDOMAIN:
+            return make_response(ctx.query, rcode=Rcode.NXDOMAIN,
+                                 recursion_available=True)
+        response = yield from next_plugin(ctx)
+        if response is not None and response.rcode == Rcode.NOERROR \
+                and response.answers:
+            positive = [record for record in response.answers if record.ttl > 0]
+            if positive:
+                self.cache.put_records(positive, self._owner.network.sim.now)
+        elif response is not None and response.rcode == Rcode.NXDOMAIN:
+            self.cache.put_negative(ctx.qname, ctx.rtype,
+                                    CacheOutcome.NEGATIVE_NXDOMAIN, 30,
+                                    self._owner.network.sim.now)
+        return response
+
+
+class KubernetesPlugin(Plugin):
+    """Service discovery over the orchestrator's registry."""
+
+    name = "kubernetes"
+
+    def __init__(self, orchestrator: Orchestrator,
+                 cluster_domain: Name = Name("cluster.local")) -> None:
+        self.orchestrator = orchestrator
+        self.cluster_domain = cluster_domain
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        """Chain hook: answer, annotate, or delegate to ``next_plugin``."""
+        if not ctx.qname.is_subdomain_of(self.cluster_domain):
+            response = yield from next_plugin(ctx)
+            return response
+        service = self.orchestrator.resolve_service_name(ctx.qname.to_text())
+        if service is None or not service.ready_pods():
+            return make_response(ctx.query, rcode=Rcode.NXDOMAIN,
+                                 authoritative=True)
+        if ctx.rtype not in (RecordType.A, RecordType.ANY):
+            return make_response(ctx.query, authoritative=True)
+        answer = ResourceRecord(ctx.qname, RecordType.A, SERVICE_TTL,
+                                A(service.cluster_ip))
+        return make_response(ctx.query, authoritative=True, answers=[answer])
+
+
+class _ForwardingPluginBase(Plugin):
+    """Shared upstream-forwarding machinery."""
+
+    def __init__(self, timeout: float = 2000.0,
+                 forward_ecs: bool = True) -> None:
+        self.timeout = timeout
+        self.forward_ecs = forward_ecs
+        self._owner: Optional[DnsServer] = None
+        self.forwarded = 0
+
+    def bind(self, owner: DnsServer) -> None:
+        self._owner = owner
+
+    def _forward(self, ctx: QueryContext, upstream: Endpoint) -> Generator:
+        assert self._owner is not None, "plugin not bound to a server"
+        query = make_query(ctx.qname, ctx.rtype,
+                           msg_id=self._owner.allocate_query_id(),
+                           recursion_desired=True)
+        if self.forward_ecs and ctx.query.edns is not None:
+            query.edns = ctx.query.edns
+        try:
+            self.forwarded += 1
+            response = yield from self._owner.query_upstream(
+                query, upstream, self.timeout)
+        except (QueryTimeout, WireFormatError):
+            return make_response(ctx.query, rcode=Rcode.SERVFAIL)
+        reply = make_response(ctx.query, rcode=response.rcode,
+                              recursion_available=True,
+                              answers=response.answers,
+                              authorities=response.authorities,
+                              additionals=response.additionals)
+        if response.edns is not None and reply.edns is not None:
+            reply.edns.options = list(response.edns.options)
+        return reply
+
+
+class StubDomainPlugin(_ForwardingPluginBase):
+    """Routes configured sub-domains to dedicated upstreams (C-DNS)."""
+
+    name = "stubdomain"
+
+    def __init__(self, domains: Optional[Dict[Name, Endpoint]] = None,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.domains: Dict[Name, Endpoint] = dict(domains or {})
+
+    def add(self, domain: Name, upstream: Endpoint) -> None:
+        """Route queries under ``domain`` to a dedicated upstream."""
+        self.domains[domain] = upstream
+
+    def upstream_for(self, qname: Name) -> Optional[Endpoint]:
+        """The configured upstream for ``qname`` (longest match), or None."""
+        best: Optional[Name] = None
+        for domain in self.domains:
+            if qname.is_subdomain_of(domain):
+                if best is None or len(domain) > len(best):
+                    best = domain
+        return self.domains[best] if best is not None else None
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        """Chain hook: answer, annotate, or delegate to ``next_plugin``."""
+        upstream = self.upstream_for(ctx.qname)
+        if upstream is None:
+            response = yield from next_plugin(ctx)
+            return response
+        response = yield from self._forward(ctx, upstream)
+        return response
+
+
+class ForwardPlugin(_ForwardingPluginBase):
+    """Default upstream for everything the earlier plugins passed on."""
+
+    name = "forward"
+
+    def __init__(self, upstream: Endpoint, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.upstream = upstream
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        """Chain hook: answer, annotate, or delegate to ``next_plugin``."""
+        response = yield from self._forward(ctx, self.upstream)
+        return response
+
+
+class CoreDnsServer(DnsServer):
+    """CoreDNS: the plugin chain behind one server socket.
+
+    ``front_plugins`` are placed before everything else (the split-
+    namespace policy goes here); ``enable_cache`` controls the cache
+    plugin; ``upstream`` adds a default forward plugin when given.
+    """
+
+    def __init__(self, network, host, orchestrator: Orchestrator,
+                 cluster_domain: Name = Name("cluster.local"),
+                 stub_domains: Optional[Dict[Name, Endpoint]] = None,
+                 upstream: Optional[Endpoint] = None,
+                 enable_cache: bool = True,
+                 front_plugins: Optional[List[Plugin]] = None,
+                 forward_ecs: bool = True,
+                 ecs_inject: bool = False,
+                 ecs_prefix: int = 24, **kwargs) -> None:
+        super().__init__(network, host, **kwargs)
+        #: When set, synthesize an ECS option carrying the client's subnet
+        #: on queries that arrive without one (the §4 ECS experiment
+        #: "enables ECS support at L-DNS").
+        self.ecs_inject = ecs_inject
+        self.ecs_prefix = ecs_prefix
+        self.kubernetes = KubernetesPlugin(orchestrator, cluster_domain)
+        self.stub = StubDomainPlugin(stub_domains, forward_ecs=forward_ecs)
+        plugins: List[Plugin] = list(front_plugins or [])
+        self.cache_plugin: Optional[CachePlugin] = None
+        if enable_cache:
+            self.cache_plugin = CachePlugin()
+            plugins.append(self.cache_plugin)
+        plugins.extend([self.kubernetes, self.stub])
+        self.forward_plugin: Optional[ForwardPlugin] = None
+        if upstream is not None:
+            self.forward_plugin = ForwardPlugin(upstream,
+                                                forward_ecs=forward_ecs)
+            plugins.append(self.forward_plugin)
+        self.chain = PluginChain(plugins)
+        for plugin in plugins:
+            bind = getattr(plugin, "bind", None)
+            if bind is not None:
+                bind(self)
+
+    def add_stub_domain(self, domain: Name, upstream: Endpoint) -> None:
+        """The §4 configuration step: sub-domain -> C-DNS."""
+        self.stub.add(domain, upstream)
+
+    def handle_query(self, query: Message, client: Endpoint) -> Generator:
+        if self.ecs_inject and (query.edns is None
+                                or query.edns.client_subnet is None):
+            from repro.dnswire.edns import ClientSubnet, Edns
+            ecs = ClientSubnet(client.ip, self.ecs_prefix)
+            if query.edns is None:
+                query.edns = Edns(options=[ecs])
+            else:
+                query.edns.options.append(ecs)
+        ctx = QueryContext(query, client)
+        response = yield from self.chain.run(ctx)
+        return response

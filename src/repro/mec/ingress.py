@@ -1,0 +1,83 @@
+"""Ingress monitoring and overload fallback.
+
+The paper's §3: "The MEC orchestrator, which has access to monitoring
+statistics of the ingress network load to the MEC DNS, can simply switch
+(or only unicast) to the provider's L-DNS during high ingress (above a
+threshold), or deploy other more sophisticated mitigation policies."
+
+:class:`IngressMonitor` keeps a sliding-window query rate;
+:class:`DosMitigation` watches it and re-targets UEs to the provider's
+L-DNS while the MEC DNS is overloaded, restoring them when load subsides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.mobile.ue import UserEquipment
+from repro.netsim.packet import Endpoint
+
+
+class IngressMonitor:
+    """Sliding-window query-per-second estimate."""
+
+    def __init__(self, window_ms: float = 1000.0,
+                 threshold_qps: float = 1000.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        self.window_ms = window_ms
+        self.threshold_qps = threshold_qps
+        self._events: Deque[float] = deque()
+        self.total_recorded = 0
+
+    def record(self, now: float) -> None:
+        """Note one inbound query at simulated time ``now`` (ms)."""
+        self._events.append(now)
+        self.total_recorded += 1
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window_ms
+        while self._events and self._events[0] <= cutoff:
+            self._events.popleft()
+
+    def rate_qps(self, now: float) -> float:
+        """The query rate over the sliding window, in queries/second."""
+        self._expire(now)
+        return len(self._events) * 1000.0 / self.window_ms
+
+    def overloaded(self, now: float) -> bool:
+        """Whether the current rate exceeds the configured threshold."""
+        return self.rate_qps(now) > self.threshold_qps
+
+
+class DosMitigation:
+    """Switches UEs between the MEC DNS and the provider L-DNS by load."""
+
+    def __init__(self, monitor: IngressMonitor, mec_dns: Endpoint,
+                 provider_ldns: Endpoint) -> None:
+        self.monitor = monitor
+        self.mec_dns = mec_dns
+        self.provider_ldns = provider_ldns
+        self.managed: List[UserEquipment] = []
+        self.mitigating = False
+        self.activations = 0
+
+    def manage(self, ue: UserEquipment) -> None:
+        """Put a UE under this policy's control."""
+        self.managed.append(ue)
+
+    def evaluate(self, now: float) -> bool:
+        """Apply the policy for the current load; returns mitigation state."""
+        overloaded = self.monitor.overloaded(now)
+        if overloaded and not self.mitigating:
+            self.mitigating = True
+            self.activations += 1
+            for ue in self.managed:
+                ue.switch_dns(self.provider_ldns)
+        elif not overloaded and self.mitigating:
+            self.mitigating = False
+            for ue in self.managed:
+                ue.switch_dns(self.mec_dns)
+        return self.mitigating

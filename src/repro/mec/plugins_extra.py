@@ -1,0 +1,98 @@
+"""Additional CoreDNS-style plugins: rewrite and loadbalance.
+
+Both exist in real CoreDNS and both matter to the MEC-CDN story:
+
+* **rewrite** maps an external delivery domain onto an internal one —
+  e.g. a CDN customer's public domain onto the cluster-local service
+  tree — before the rest of the chain resolves it.  The answer records
+  are mapped back, so clients never see the internal name.
+* **loadbalance** rotates the order of A records in answers, spreading
+  clients that "take the first address" across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.dnswire.message import Message, Question, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.types import RecordType
+from repro.resolver.chain import Plugin, QueryContext
+
+
+class RewritePlugin(Plugin):
+    """Rewrites query names under ``from_suffix`` to ``to_suffix``.
+
+    The downstream chain sees the rewritten name; answer owner names that
+    carry the internal suffix are rewritten back before the response
+    leaves the server (CoreDNS ``rewrite ... answer auto``).
+    """
+
+    name = "rewrite"
+
+    def __init__(self, from_suffix: Name, to_suffix: Name) -> None:
+        self.from_suffix = from_suffix
+        self.to_suffix = to_suffix
+        self.rewritten = 0
+
+    def map_name(self, qname: Name) -> Optional[Name]:
+        """``qname`` with the suffix swapped, or None if it not covered."""
+        if not qname.is_subdomain_of(self.from_suffix):
+            return None
+        prefix = qname.relativize(self.from_suffix)
+        return Name.from_labels(prefix + self.to_suffix.labels)
+
+    def unmap_name(self, owner: Name) -> Name:
+        """The inverse mapping for answer owner names (identity if uncovered)."""
+        if not owner.is_subdomain_of(self.to_suffix):
+            return owner
+        prefix = owner.relativize(self.to_suffix)
+        return Name.from_labels(prefix + self.from_suffix.labels)
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        mapped = self.map_name(ctx.qname)
+        if mapped is None:
+            response = yield from next_plugin(ctx)
+            return response
+        self.rewritten += 1
+        original_question = ctx.query.question
+        ctx.query.questions = [Question(mapped, original_question.rtype,
+                                        original_question.rclass)]
+        response = yield from next_plugin(ctx)
+        # Restore the client-visible question and map answers back.
+        ctx.query.questions = [original_question]
+        if response is not None:
+            response.questions = [original_question]
+            response.answers = [self._unmap_record(record)
+                                for record in response.answers]
+        return response
+
+    def _unmap_record(self, record: ResourceRecord) -> ResourceRecord:
+        mapped_back = self.unmap_name(record.name)
+        if mapped_back == record.name:
+            return record
+        return ResourceRecord(mapped_back, record.rtype, record.ttl,
+                              record.rdata, record.rclass)
+
+
+class LoadBalancePlugin(Plugin):
+    """Round-robin rotation of A/AAAA answers (CoreDNS ``loadbalance``)."""
+
+    name = "loadbalance"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def handle(self, ctx: QueryContext, next_plugin) -> Generator:
+        response = yield from next_plugin(ctx)
+        if response is None:
+            return None
+        rotatable = [record for record in response.answers
+                     if record.rtype in (RecordType.A, RecordType.AAAA)]
+        if len(rotatable) > 1:
+            others = [record for record in response.answers
+                      if record not in rotatable]
+            self._counter += 1
+            pivot = self._counter % len(rotatable)
+            response.answers = others + rotatable[pivot:] + rotatable[:pivot]
+        return response

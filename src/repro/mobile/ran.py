@@ -1,0 +1,61 @@
+"""Radio access network: base stations.
+
+A :class:`BaseStation` is the UE attachment point (eNB for LTE, gNB for
+5G, or the AP/switch for Wi-Fi/wired profiles).  Attaching a UE creates a
+radio link with the profile's latency model; the base station uplinks into
+the core via whatever link the scenario builder adds.
+
+Each base station can advertise a *MEC DNS endpoint*: per the paper's §3
+design, "when an end user connects to a particular base station, its
+target DNS is switched to that of the MEC DNS" — attachment and handoff
+both honour this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.mobile.profiles import AccessProfile
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobile.ue import UserEquipment
+
+
+class BaseStation:
+    """One cell site (eNB/gNB) or fixed-access attachment point."""
+
+    def __init__(self, network: Network, name: str, ip: str,
+                 profile: AccessProfile,
+                 mec_dns: Optional[Endpoint] = None) -> None:
+        self.network = network
+        self.profile = profile
+        self.host: Host = network.add_host(name, ip)
+        #: DNS endpoint pushed to UEs that attach here (None = keep default).
+        self.mec_dns = mec_dns
+        self.attached: List["UserEquipment"] = []
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def attach(self, ue: "UserEquipment") -> None:
+        """Create the radio link and push the edge DNS target, if any."""
+        self.network.add_link(ue.host.name, self.name, self.profile.radio,
+                              name=f"radio:{ue.host.name}@{self.name}")
+        self.attached.append(ue)
+        ue.base_station = self
+        if self.mec_dns is not None:
+            ue.switch_dns(self.mec_dns)
+
+    def detach(self, ue: "UserEquipment") -> None:
+        """Tear down the radio link to ``ue``."""
+        self.network.remove_link(ue.host.name, self.name)
+        self.attached.remove(ue)
+        ue.base_station = None
+
+    def __repr__(self) -> str:
+        return (f"BaseStation({self.name}, {self.profile.name}, "
+                f"{len(self.attached)} UEs)")

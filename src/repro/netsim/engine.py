@@ -1,0 +1,240 @@
+"""Event loop, futures, and generator processes.
+
+The engine is a classic calendar-queue simulator: a heap of
+``(time, sequence, callback)`` entries.  On top of it sit two conveniences
+that the protocol code leans on heavily:
+
+* :class:`SimFuture` — a one-shot result holder with callbacks, used for
+  request/response patterns (a DNS query's answer, an HTTP fetch).
+* generator processes — :meth:`Simulator.spawn` runs a generator that may
+  ``yield`` a number (sleep that many milliseconds) or a
+  :class:`SimFuture` (wait for it); the generator's ``return`` value
+  resolves the process's own future.  This keeps multi-step protocol logic
+  (iterative resolution, CNAME chasing, fallback races) sequential and
+  readable without threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class ProcessFailed(SimulationError):
+    """A spawned process raised; the original exception is ``__cause__``."""
+
+
+class SimFuture:
+    """A single-assignment result that callbacks or processes can await."""
+
+    __slots__ = ("_sim", "_done", "_value", "_error", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        """The value; raises the stored exception if the future failed."""
+        if not self._done:
+            raise SimulationError("future is not resolved yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error if self._done else None
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future with ``value`` (first completion wins)."""
+        self._finish(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the future with an error (first completion wins)."""
+        self._finish(None, error)
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._done:
+            return  # first resolution wins (e.g. response vs. timeout race)
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.call_soon(lambda cb=callback: cb(self))
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Call ``callback(self)`` once resolved (immediately if done)."""
+        if self._done:
+            self._sim.call_soon(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+class Simulator:
+    """The discrete-event clock and scheduler.  Times are milliseconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self._now + delay, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at the current simulated time."""
+        self.call_at(self._now, callback)
+
+    # -- futures -----------------------------------------------------------------
+
+    def future(self) -> SimFuture:
+        """A fresh unresolved future bound to this simulator."""
+        return SimFuture(self)
+
+    def timer(self, delay: float, value: Any = None) -> SimFuture:
+        """A future that resolves to ``value`` after ``delay`` ms."""
+        fut = self.future()
+        self.call_after(delay, lambda: fut.resolve(value))
+        return fut
+
+    # -- processes ------------------------------------------------------------------
+
+    def spawn(self, generator: Generator[Any, Any, Any]) -> SimFuture:
+        """Run a generator process; returns a future for its return value.
+
+        The generator may yield:
+
+        * ``int``/``float`` — sleep that many milliseconds;
+        * :class:`SimFuture` — suspend until it resolves.  If the future
+          failed, its exception is thrown into the generator, so processes
+          handle timeouts with ordinary ``try/except``.
+        """
+        done = self.future()
+
+        def step(send_value: Any = None,
+                 throw_error: Optional[BaseException] = None) -> None:
+            try:
+                if throw_error is not None:
+                    yielded = generator.throw(throw_error)
+                else:
+                    yielded = generator.send(send_value)
+            except StopIteration as stop:
+                done.resolve(stop.value)
+                return
+            except Exception as error:  # noqa: BLE001 - propagate via future
+                wrapper = ProcessFailed(str(error))
+                wrapper.__cause__ = error
+                done.fail(wrapper)
+                return
+            if isinstance(yielded, SimFuture):
+                def on_done(fut: SimFuture) -> None:
+                    if fut.error is not None:
+                        step(throw_error=fut.error)
+                    else:
+                        step(send_value=fut.result())
+                yielded.add_done_callback(on_done)
+            elif isinstance(yielded, (int, float)):
+                self.call_after(float(yielded), step)
+            else:
+                step(throw_error=SimulationError(
+                    f"process yielded unsupported value {yielded!r}"))
+
+        self.call_soon(step)
+        return done
+
+    # -- running -------------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time when the run stopped.
+        """
+        processed = 0
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a runaway loop")
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def first_success(self, futures: List[SimFuture]) -> SimFuture:
+        """A future resolving with the first *successful* input result.
+
+        Failures are absorbed until every input has failed, at which point
+        the combined future fails with the last error.  This is the
+        primitive behind the paper's "multicast to both MEC DNS and the
+        network's L-DNS" fallback: whichever resolver answers first wins.
+        """
+        if not futures:
+            raise SimulationError("first_success needs at least one future")
+        combined = self.future()
+        failures = {"count": 0}
+
+        def on_done(fut: SimFuture) -> None:
+            if fut.error is None:
+                combined.resolve(fut.result())
+                return
+            failures["count"] += 1
+            if failures["count"] == len(futures):
+                combined.fail(fut.error)
+
+        for fut in futures:
+            fut.add_done_callback(on_done)
+        return combined
+
+    def run_until_resolved(self, future: SimFuture,
+                           max_events: int = 10_000_000) -> Any:
+        """Run until ``future`` resolves; return its result (or raise)."""
+        processed = 0
+        while not future.done:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited future resolved")
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a runaway loop")
+        return future.result()

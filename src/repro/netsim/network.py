@@ -1,0 +1,241 @@
+"""The routed topology: hosts, links, forwarding, middleboxes, taps.
+
+Routing is shortest-path by mean link latency over an undirected graph
+(networkx).  Delivery walks the path hop by hop, sampling each link's
+latency, applying any middlebox at each traversed host, and re-routing when
+a middlebox rewrites the destination (NAT).  Packet taps observe datagrams
+at named hosts, which is how the experiments split "wireless" from
+"resolver" time exactly like the paper's tcpdump-at-P-GW method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import AddressError, RoutingError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Datagram
+from repro.netsim.rand import RandomStreams
+
+#: A tap sees (time_ms, host_name, event, datagram); event is "send",
+#: "forward", "deliver", or "drop".
+Tap = Callable[[float, str, str, Datagram], None]
+
+#: Hard bound on middlebox-driven re-routing to catch rewrite loops.
+_MAX_REROUTES = 16
+
+
+class Network:
+    """A topology of hosts and links bound to a simulator."""
+
+    def __init__(self, sim: Simulator, streams: RandomStreams) -> None:
+        self.sim = sim
+        self.streams = streams
+        self._graph = nx.Graph()
+        self._hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._ip_index: Dict[str, Host] = {}
+        self._taps: List[Tap] = []
+        self._paths: Optional[Dict[str, Dict[str, List[str]]]] = None
+
+    # -- construction -------------------------------------------------------------
+
+    def add_host(self, name: str, *addresses: str) -> Host:
+        """Create a host, assign its addresses, join the topology."""
+        if name in self._hosts:
+            raise AddressError(f"duplicate host name {name}")
+        host = Host(name)
+        host.network = self
+        self._hosts[name] = host
+        self._graph.add_node(name)
+        for ip in addresses:
+            self.assign_address(host, ip)
+        return host
+
+    def assign_address(self, host: Host, ip: str) -> None:
+        """Bind ``ip`` to ``host`` (must be globally unique)."""
+        if ip in self._ip_index:
+            raise AddressError(f"address {ip} already assigned to "
+                               f"{self._ip_index[ip].name}")
+        host.addresses.append(ip)
+        self._ip_index[ip] = host
+
+    def release_address(self, host: Host, ip: str) -> None:
+        """Unbind ``ip`` from ``host`` so it can move elsewhere."""
+        if self._ip_index.get(ip) is not host:
+            raise AddressError(f"{ip} is not assigned to {host.name}")
+        host.addresses.remove(ip)
+        del self._ip_index[ip]
+
+    def add_link(self, a: str, b: str, latency, loss: float = 0.0,
+                 name: Optional[str] = None,
+                 bandwidth_mbps: Optional[float] = None) -> Link:
+        """Connect two hosts with a latency model (and optional loss)."""
+        for endpoint in (a, b):
+            if endpoint not in self._hosts:
+                raise AddressError(f"unknown host {endpoint}")
+        link = Link(a, b, latency, loss=loss, name=name,
+                    bandwidth_mbps=bandwidth_mbps)
+        self._links[self._link_key(a, b)] = link
+        self._graph.add_edge(a, b, weight=max(link.mean_latency, 1e-9))
+        self._paths = None  # invalidate the routing cache
+        return link
+
+    def remove_link(self, a: str, b: str) -> Link:
+        """Tear down the link between ``a`` and ``b`` (e.g. radio handoff).
+
+        Packets already scheduled keep their sampled delivery times, as
+        in-flight frames do during a real handoff.
+        """
+        key = self._link_key(a, b)
+        try:
+            link = self._links.pop(key)
+        except KeyError:
+            raise RoutingError(f"no link between {a} and {b}") from None
+        self._graph.remove_edge(a, b)
+        self._paths = None
+        return link
+
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        """The host named ``name``; raises AddressError if unknown."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise AddressError(f"unknown host {name}") from None
+
+    def hosts(self) -> List[Host]:
+        """All hosts in the topology."""
+        return list(self._hosts.values())
+
+    def host_for_ip(self, ip: str) -> Host:
+        """The host owning ``ip``; raises AddressError if unowned."""
+        try:
+            return self._ip_index[ip]
+        except KeyError:
+            raise AddressError(f"no host owns {ip}") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The link between two adjacent hosts; raises RoutingError."""
+        try:
+            return self._links[self._link_key(a, b)]
+        except KeyError:
+            raise RoutingError(f"no link between {a} and {b}") from None
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a packet observer (see PacketTrace)."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        """Unregister a packet observer."""
+        self._taps.remove(tap)
+
+    # -- routing ----------------------------------------------------------------------------
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Host names from ``src`` to ``dst`` inclusive."""
+        if self._paths is None:
+            self._paths = dict(nx.all_pairs_dijkstra_path(self._graph))
+        try:
+            return self._paths[src][dst]
+        except KeyError:
+            raise RoutingError(f"no route from {src} to {dst}") from None
+
+    def path_mean_latency(self, src: str, dst: str) -> float:
+        """Sum of mean one-way link latencies along the route."""
+        hops = self.path(src, dst)
+        total = 0.0
+        for a, b in zip(hops, hops[1:]):
+            link = self.link_between(a, b)
+            total += link.latency_from(a).mean
+        return total
+
+    # -- forwarding -----------------------------------------------------------------------------
+
+    def send(self, datagram: Datagram, from_host: Host) -> None:
+        """Inject ``datagram`` at ``from_host`` and walk it to delivery.
+
+        The walk samples each link once, applies middleboxes at every
+        traversed host (including the final one), follows destination
+        rewrites, and schedules the delivery callback at the accumulated
+        time.  Loss anywhere silently drops the packet.
+        """
+        self._emit("send", from_host.name, datagram)
+        self._walk(datagram, from_host, elapsed=0.0, reroutes=0)
+
+    def _walk(self, datagram: Datagram, at: Host, elapsed: float,
+              reroutes: int) -> None:
+        if reroutes > _MAX_REROUTES:
+            raise RoutingError(
+                f"middlebox rewrite loop for {datagram!r} at {at.name}")
+        try:
+            dst_host = self.host_for_ip(datagram.dst.ip)
+        except AddressError:
+            self._schedule_tap("drop", at.name, datagram, elapsed)
+            return
+        hops = self.path(at.name, dst_host.name)
+        rng = self.streams.stream("link-delays")
+        current = datagram
+        for previous, nxt in zip(hops, hops[1:]):
+            link = self.link_between(previous, nxt)
+            delay = link.sample_delay(previous, rng, current.size)
+            if delay is None:
+                self._schedule_tap("drop", nxt, current, elapsed)
+                return
+            elapsed += delay
+            current.hops.append(nxt)
+            arrived_at = self._hosts[nxt]
+            if arrived_at.middlebox is not None and nxt != hops[-1]:
+                processed = arrived_at.middlebox.process(current, arrived_at)
+                if processed is None:
+                    self._schedule_tap("drop", nxt, current, elapsed)
+                    return
+                self._schedule_tap("forward", nxt, processed, elapsed)
+                if processed.dst.ip != current.dst.ip:
+                    self._walk(processed, arrived_at, elapsed, reroutes + 1)
+                    return
+                current = processed
+            elif nxt != hops[-1]:
+                self._schedule_tap("forward", nxt, current, elapsed)
+        final_host = self._hosts[hops[-1]]
+        if final_host.middlebox is not None:
+            processed = final_host.middlebox.process(current, final_host)
+            if processed is None:
+                self._schedule_tap("drop", final_host.name, current, elapsed)
+                return
+            if not final_host.owns(processed.dst.ip):
+                self._schedule_tap("forward", final_host.name, processed, elapsed)
+                self._walk(processed, final_host, elapsed, reroutes + 1)
+                return
+            current = processed
+        self.sim.call_after(elapsed, lambda: self._deliver(final_host, current))
+
+    def _deliver(self, host: Host, datagram: Datagram) -> None:
+        self._emit("deliver", host.name, datagram)
+        sock = host.socket_on_port(datagram.dst.port)
+        if sock is None:
+            self._emit("drop", host.name, datagram)
+            return
+        sock.handle_delivery(datagram)
+
+    # -- taps ------------------------------------------------------------------------------------
+
+    def _schedule_tap(self, event: str, host_name: str, datagram: Datagram,
+                      elapsed: float) -> None:
+        if not self._taps:
+            return
+        self.sim.call_after(
+            elapsed, lambda: self._emit(event, host_name, datagram))
+
+    def _emit(self, event: str, host_name: str, datagram: Datagram) -> None:
+        for tap in self._taps:
+            tap(self.sim.now, host_name, event, datagram)

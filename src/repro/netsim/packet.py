@@ -1,0 +1,51 @@
+"""Datagrams and endpoints.
+
+A :class:`Datagram` is the unit the network moves: an opaque payload plus
+source/destination endpoints.  Middleboxes (NAT at the P-GW) rewrite the
+endpoints; the payload is never interpreted below the application layer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+
+class Endpoint(NamedTuple):
+    """An (ip, port) pair."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+class Datagram:
+    """One UDP-style datagram in flight."""
+
+    __slots__ = ("src", "dst", "payload", "protocol", "hops")
+
+    def __init__(self, src: Endpoint, dst: Endpoint, payload: bytes,
+                 protocol: str = "udp") -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.protocol = protocol
+        #: Host names traversed so far (filled in by the network walk).
+        self.hops: list = []
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+    def rewritten(self, src: Optional[Endpoint] = None,
+                  dst: Optional[Endpoint] = None) -> "Datagram":
+        """A copy with src and/or dst replaced (hop history preserved)."""
+        clone = Datagram(src or self.src, dst or self.dst, self.payload,
+                         self.protocol)
+        clone.hops = list(self.hops)
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"Datagram({self.src} -> {self.dst}, {self.size}B, "
+                f"{self.protocol})")

@@ -1,0 +1,119 @@
+"""Forwarding resolver with stub-domain routing.
+
+This models two things from the paper:
+
+* the carrier or public resolver front-ends that simply forward to an
+  upstream recursive farm, and
+* the CoreDNS *stub domain* mechanism the prototype configures in §4:
+  "we update the configuration of L-DNS with the sub-domain and upstream
+  server to ensure that L-DNS redirects queries for this CDN domain to
+  C-DNS" — i.e. queries under a configured sub-domain go to a dedicated
+  upstream (the ATC Traffic Router) instead of the default path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.dnswire.message import Message, make_query, make_response
+from repro.dnswire.name import Name
+from repro.dnswire.types import Rcode
+from repro.errors import QueryTimeout, WireFormatError
+from repro.netsim.packet import Endpoint
+from repro.resolver.cache import CacheOutcome, DnsCache
+from repro.resolver.server import DnsServer
+
+
+class ForwardingResolver(DnsServer):
+    """Caches locally; otherwise forwards to the matching upstream."""
+
+    def __init__(self, network, host, upstreams: List[Endpoint],
+                 stub_domains: Optional[Dict[Name, Endpoint]] = None,
+                 cache: Optional[DnsCache] = None,
+                 upstream_timeout: float = 2000.0,
+                 forward_ecs: bool = True, **kwargs) -> None:
+        super().__init__(network, host, **kwargs)
+        if not upstreams:
+            raise ValueError("forwarding resolver needs at least one upstream")
+        self.upstreams = list(upstreams)
+        self.stub_domains = dict(stub_domains or {})
+        self.cache = cache if cache is not None else DnsCache()
+        self.upstream_timeout = upstream_timeout
+        self.forward_ecs = forward_ecs
+        self.forwarded = 0
+        self.served_from_cache = 0
+
+    def add_stub_domain(self, domain: Name, upstream: Endpoint) -> None:
+        """Route queries under ``domain`` to a dedicated upstream."""
+        self.stub_domains[domain] = upstream
+
+    def upstreams_for(self, qname: Name) -> List[Endpoint]:
+        """The upstream list for ``qname``: longest stub-domain match wins."""
+        best: Optional[Name] = None
+        for domain in self.stub_domains:
+            if qname.is_subdomain_of(domain):
+                if best is None or len(domain) > len(best):
+                    best = domain
+        if best is not None:
+            return [self.stub_domains[best]]
+        return self.upstreams
+
+    def handle_query(self, query: Message, client: Endpoint) -> Generator:
+        question = query.question
+        now = self.network.sim.now
+        cached = self.cache.get(question.name, question.rtype, now)
+        if cached.outcome == CacheOutcome.HIT:
+            self.served_from_cache += 1
+            return make_response(query, recursion_available=True,
+                                 answers=cached.records)
+        if cached.outcome == CacheOutcome.NEGATIVE_NXDOMAIN:
+            self.served_from_cache += 1
+            return make_response(query, rcode=Rcode.NXDOMAIN,
+                                 recursion_available=True)
+        if cached.outcome == CacheOutcome.NEGATIVE_NODATA:
+            self.served_from_cache += 1
+            return make_response(query, recursion_available=True)
+
+        for upstream in self.upstreams_for(question.name):
+            forwarded = make_query(question.name, question.rtype,
+                                   msg_id=self.allocate_query_id(),
+                                   recursion_desired=True)
+            if self.forward_ecs and query.edns is not None:
+                forwarded.edns = query.edns
+            try:
+                self.forwarded += 1
+                response = yield from self.query_upstream(
+                    forwarded, upstream, self.upstream_timeout)
+            except (QueryTimeout, WireFormatError):
+                continue
+            self._cache_response(question, response)
+            reply = make_response(query, rcode=response.rcode,
+                                  recursion_available=True,
+                                  answers=response.answers,
+                                  authorities=response.authorities,
+                                  additionals=response.additionals)
+            return reply
+        return make_response(query, rcode=Rcode.SERVFAIL,
+                             recursion_available=True)
+
+    def _cache_response(self, question, response: Message) -> None:
+        now = self.network.sim.now
+        if response.rcode == Rcode.NOERROR and response.answers:
+            self.cache.put_records(response.answers, now)
+        elif response.rcode == Rcode.NXDOMAIN:
+            self.cache.put_negative(question.name, question.rtype,
+                                    CacheOutcome.NEGATIVE_NXDOMAIN,
+                                    _soa_ttl(response), now)
+        elif response.rcode == Rcode.NOERROR:
+            self.cache.put_negative(question.name, question.rtype,
+                                    CacheOutcome.NEGATIVE_NODATA,
+                                    _soa_ttl(response), now)
+
+
+def _soa_ttl(response: Message) -> int:
+    from repro.dnswire.rdata import SOA
+    from repro.dnswire.types import RecordType
+    for record in response.authorities:
+        if record.rtype == RecordType.SOA and isinstance(record.rdata, SOA):
+            return min(record.rdata.minimum, record.ttl)
+    return 60

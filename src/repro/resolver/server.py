@@ -1,0 +1,224 @@
+"""Base class for simulated DNS servers.
+
+Handles the transport plumbing every server shares: binding a socket,
+decoding queries (FORMERR on garbage, NOTIMP on unsupported opcodes),
+sampling a per-query processing delay, running the subclass handler as a
+simulator process, and encoding the response.
+
+Subclasses implement :meth:`DnsServer.handle_query`, either as a plain
+method returning a :class:`~repro.dnswire.message.Message` or as a
+generator (a simulator process) when they need upstream queries.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Generator, Optional
+
+from repro.dnswire.message import Message, make_response
+from repro.dnswire.types import Opcode, Rcode
+from repro.errors import QueryTimeout, WireFormatError
+from repro.netsim.latency import Constant, LatencyModel
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import Endpoint
+from repro.netsim.socket import UdpSocket
+
+#: Default per-query processing time: sub-millisecond, as for a warm
+#: in-memory resolver.
+DEFAULT_PROCESSING_DELAY = Constant(0.2)
+
+DNS_PORT = 53
+#: The simulator has one port space per host (no protocol dimension), so
+#: DNS-over-TCP (really TCP/53) listens here.
+DNS_TCP_PORT = 1053
+#: Responses larger than the client's advertised payload are truncated
+#: (TC=1) and the client retries over the stream transport (RFC 7766).
+CLASSIC_UDP_PAYLOAD = 512
+
+
+class DnsServer:
+    """A DNS server bound to ``host``'s address on ``port``.
+
+    ``workers`` bounds concurrent query processing (an M/G/c-style service
+    model): when every worker is busy, queries queue FIFO, and beyond
+    ``max_queue`` they are silently dropped — which is what a flooded
+    resolver looks like to its clients.  The default is unbounded, i.e.
+    the server is never the bottleneck (the right model for the latency
+    calibration experiments); the overload experiments set it explicitly.
+    """
+
+    def __init__(self, network: Network, host: Host,
+                 ip: Optional[str] = None, port: int = DNS_PORT,
+                 processing_delay: Optional[LatencyModel] = None,
+                 name: Optional[str] = None,
+                 enable_tcp: bool = True,
+                 workers: Optional[int] = None,
+                 max_queue: int = 256) -> None:
+        self.network = network
+        self.host = host
+        self.name = name or f"{type(self).__name__}@{host.name}"
+        self.processing_delay = processing_delay or DEFAULT_PROCESSING_DELAY
+        self.sock = UdpSocket(host, ip=ip, port=port)
+        self.sock.on_datagram = self._on_datagram
+        self._rng = network.streams.stream(f"dns-server:{self.name}")
+        self._next_query_id = 1
+        self.queries_received = 0
+        self.responses_sent = 0
+        self.truncated_sent = 0
+        self.tcp_queries_received = 0
+        if workers is not None and workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.workers = workers
+        self.max_queue = max_queue
+        self._busy_workers = 0
+        self._backlog: "list" = []
+        self.queries_dropped = 0
+        self.peak_backlog = 0
+        self._tcp_server = None
+        if enable_tcp and port == DNS_PORT:
+            from repro.netsim.stream import StreamServer
+            self._tcp_server = StreamServer(
+                network, host, DNS_TCP_PORT, self._handle_stream_query,
+                ip=self.sock.ip)
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self.sock.endpoint
+
+    # -- transport ------------------------------------------------------------
+
+    def _on_datagram(self, payload: bytes, client: Endpoint,
+                     sock: UdpSocket) -> None:
+        self.queries_received += 1
+        try:
+            query = Message.from_wire(payload)
+        except WireFormatError:
+            self._send_error_for_garbage(payload, client)
+            return
+        if query.opcode != Opcode.QUERY or not query.questions:
+            response = make_response(query, rcode=Rcode.NOTIMP)
+            self._send(response, client)
+            return
+        self._admit(query, client)
+
+    def _admit(self, query: Message, client: Endpoint) -> None:
+        """Run immediately if a worker is free; queue or drop otherwise."""
+        if self.workers is None or self._busy_workers < self.workers:
+            self._busy_workers += 1
+            self.network.sim.spawn(self._serve_and_release(query, client))
+            return
+        if len(self._backlog) >= self.max_queue:
+            self.queries_dropped += 1
+            return
+        self._backlog.append((query, client))
+        self.peak_backlog = max(self.peak_backlog, len(self._backlog))
+
+    def _serve_and_release(self, query: Message,
+                           client: Endpoint) -> Generator:
+        try:
+            yield from self._serve(query, client)
+        finally:
+            self._busy_workers -= 1
+            if self._backlog:
+                next_query, next_client = self._backlog.pop(0)
+                self._busy_workers += 1
+                self.network.sim.spawn(
+                    self._serve_and_release(next_query, next_client))
+
+    def _serve(self, query: Message, client: Endpoint) -> Generator:
+        yield self.processing_delay.sample(self._rng)
+        response = yield from self._produce_response(query, client)
+        if response is not None:
+            self._send(response, client, query)
+
+    def _produce_response(self, query: Message,
+                          client: Endpoint) -> Generator:
+        try:
+            result = self.handle_query(query, client)
+            if inspect.isgenerator(result):
+                response = yield from result
+            else:
+                response = result
+        except QueryTimeout:
+            response = make_response(query, rcode=Rcode.SERVFAIL)
+        return response
+
+    def _handle_stream_query(self, payload: bytes,
+                             client: Endpoint) -> Generator:
+        """DNS-over-TCP path: no size limit, no truncation."""
+        self.tcp_queries_received += 1
+        try:
+            query = Message.from_wire(payload)
+        except WireFormatError:
+            return b""
+            yield  # pragma: no cover - generator marker
+        yield self.processing_delay.sample(self._rng)
+        response = yield from self._produce_response(query, client)
+        return response.to_wire() if response is not None else b""
+
+    def _send(self, response: Message, client: Endpoint,
+              query: Optional[Message] = None) -> None:
+        self.responses_sent += 1
+        wire = response.to_wire()
+        max_payload = CLASSIC_UDP_PAYLOAD
+        if query is not None and query.edns is not None:
+            max_payload = max(query.edns.udp_payload, CLASSIC_UDP_PAYLOAD)
+        if len(wire) > max_payload:
+            # RFC 1035 §4.2.1 truncation: signal TC and drop the records
+            # that no longer fit; the client retries over the stream.
+            truncated = make_response(
+                query if query is not None else response,
+                rcode=response.rcode,
+                recursion_available=response.flags.ra,
+                authoritative=response.flags.aa)
+            truncated.flags.tc = True
+            wire = truncated.to_wire()
+            self.truncated_sent += 1
+        self.sock.send_to(wire, client)
+
+    def _send_error_for_garbage(self, payload: bytes, client: Endpoint) -> None:
+        """Best effort FORMERR: echo the query id if two octets exist."""
+        if len(payload) < 2:
+            return
+        response = Message(msg_id=int.from_bytes(payload[:2], "big"),
+                           rcode=Rcode.FORMERR)
+        response.flags.qr = True
+        self._send(response, client)
+
+    # -- upstream helper ----------------------------------------------------------
+
+    def query_upstream(self, query: Message, server: Endpoint,
+                       timeout: float) -> Generator:
+        """Process: send ``query`` to ``server``; return the parsed response.
+
+        Opens a fresh ephemeral socket per attempt (matching stub resolver
+        practice and keeping concurrent upstream queries independent).
+        Raises :class:`~repro.errors.QueryTimeout` on timeout and
+        :class:`~repro.errors.WireFormatError` on an undecodable reply.
+        """
+        sock = UdpSocket(self.host, ip=self.sock.ip)
+        try:
+            reply = yield sock.request(query.to_wire(), server, timeout)
+        finally:
+            sock.close()
+        return Message.from_wire(reply.payload)
+
+    def allocate_query_id(self) -> int:
+        """A fresh message id for an upstream query."""
+        self._next_query_id = (self._next_query_id + 1) & 0xFFFF or 1
+        return self._next_query_id
+
+    # -- subclass API -----------------------------------------------------------------
+
+    def handle_query(self, query: Message, client: Endpoint):
+        """Produce a response Message (or a generator yielding one).
+
+        Returning ``None`` suppresses the response (used by policy plugins
+        that deliberately ignore queries, per the paper's "MEC DNS ignores
+        queries not related to MEC-CDN" workaround).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, {self.endpoint})"

@@ -1,0 +1,141 @@
+"""The client-side stub resolver and its ``dig``-style result.
+
+:class:`DigResult` carries exactly what the paper reads off ``dig``:
+status, the answer section, and the query time in milliseconds.  The
+experiments (Figures 2 and 5) are built from sequences of these results.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.dnswire.edns import Edns
+from repro.dnswire.message import Message, ResourceRecord, make_query
+from repro.dnswire.name import Name
+from repro.dnswire.types import Rcode, RecordType
+from repro.errors import QueryTimeout, WireFormatError
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import Endpoint
+from repro.netsim.socket import UdpSocket
+
+
+class DigResult:
+    """One completed DNS lookup as seen by the client."""
+
+    __slots__ = ("question_name", "rtype", "response", "query_time_ms",
+                 "server", "attempts", "started_at")
+
+    def __init__(self, question_name: Name, rtype: RecordType,
+                 response: Message, query_time_ms: float, server: Endpoint,
+                 attempts: int, started_at: float) -> None:
+        self.question_name = question_name
+        self.rtype = rtype
+        self.response = response
+        self.query_time_ms = query_time_ms
+        self.server = server
+        self.attempts = attempts
+        self.started_at = started_at
+
+    @property
+    def status(self) -> str:
+        return self.response.rcode.name
+
+    @property
+    def addresses(self) -> List[str]:
+        return self.response.answer_addresses()
+
+    def __repr__(self) -> str:
+        return (f"DigResult({self.question_name} {self.rtype.name} -> "
+                f"{self.status} {self.addresses} in {self.query_time_ms:.2f}ms)")
+
+
+class StubResolver:
+    """Issues queries from a client host to a configured resolver."""
+
+    def __init__(self, network: Network, host: Host, server: Endpoint,
+                 timeout: float = 3000.0, retries: int = 2,
+                 source_ip: Optional[str] = None) -> None:
+        self.network = network
+        self.host = host
+        self.server = server
+        self.timeout = timeout
+        self.retries = retries
+        self.source_ip = source_ip
+        self._rng = network.streams.stream(f"stub:{host.name}")
+        self.queries_issued = 0
+        self.timeouts_seen = 0
+        self.tcp_fallbacks = 0
+
+    def query(self, name: Name, rtype: RecordType = RecordType.A,
+              server: Optional[Endpoint] = None,
+              edns: Optional[Edns] = None,
+              timeout: Optional[float] = None,
+              authorities: Optional[List["ResourceRecord"]] = None) -> Generator:
+        """Process returning a :class:`DigResult` (raises QueryTimeout).
+
+        ``authorities`` lets callers put records in the request's
+        authority section — IXFR carries the client's current SOA there.
+        """
+        target = server or self.server
+        per_try_timeout = timeout if timeout is not None else self.timeout
+        started_at = self.network.sim.now
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.retries + 2):
+            msg_id = self._rng.randrange(1, 0xFFFF)
+            query = make_query(name, rtype, msg_id=msg_id, edns=edns)
+            if authorities:
+                query.authorities = list(authorities)
+            sock = UdpSocket(self.host, ip=self.source_ip)
+            self.queries_issued += 1
+            try:
+                reply = yield sock.request(query.to_wire(), target,
+                                           per_try_timeout)
+            except QueryTimeout as error:
+                self.timeouts_seen += 1
+                last_error = error
+                continue
+            finally:
+                sock.close()
+            try:
+                response = Message.from_wire(reply.payload)
+            except WireFormatError as error:
+                last_error = error
+                continue
+            if response.msg_id != msg_id:
+                last_error = WireFormatError("transaction id mismatch")
+                continue
+            if response.flags.tc:
+                # Truncated: retry the same query over the stream
+                # transport (RFC 7766), like dig's automatic +tcp retry.
+                response = yield from self._retry_over_stream(query, target)
+            return DigResult(
+                question_name=name, rtype=rtype, response=response,
+                query_time_ms=self.network.sim.now - started_at,
+                server=target, attempts=attempt, started_at=started_at)
+        raise last_error if last_error is not None else QueryTimeout(
+            f"query for {name} failed")
+
+    def _retry_over_stream(self, query: Message,
+                           target: Endpoint) -> Generator:
+        from repro.netsim.stream import open_channel
+        from repro.resolver.server import DNS_TCP_PORT
+        self.tcp_fallbacks += 1
+        channel = yield from open_channel(
+            self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT))
+        try:
+            raw = yield from channel.exchange(query.to_wire())
+        finally:
+            channel.close()
+        response = Message.from_wire(raw)
+        if response.msg_id != query.msg_id:
+            raise WireFormatError("tcp retry transaction id mismatch")
+        return response
+
+    def resolve_addresses(self, name: Name,
+                          server: Optional[Endpoint] = None) -> Generator:
+        """Process returning the list of A addresses (empty on NXDOMAIN)."""
+        result = yield from self.query(name, RecordType.A, server=server)
+        if result.response.rcode == Rcode.NXDOMAIN:
+            return []
+        return result.addresses

@@ -1,0 +1,108 @@
+"""Tests for the cache health monitor and its router integration."""
+
+import pytest
+
+from repro.cdn import (
+    CacheServer,
+    ContentCatalog,
+    CoverageZone,
+    HealthMonitor,
+    TrafficRouter,
+)
+from repro.dnswire import Name
+from repro.netsim import Constant, Network, RandomStreams, Simulator
+from repro.resolver import StubResolver
+
+
+class HealthScenario:
+    def __init__(self, seed=97, failure_threshold=2):
+        self.sim = Simulator()
+        self.net = Network(self.sim, RandomStreams(seed))
+        self.net.add_host("router", "10.96.0.53")
+        self.net.add_host("client", "10.45.0.2")
+        self.net.add_link("client", "router", Constant(1))
+        self.catalog = ContentCatalog()
+        self.caches = []
+        for index in range(3):
+            host = self.net.add_host(f"cache-{index}", f"10.233.1.{10 + index}")
+            self.net.add_link(host.name, "router", Constant(0.5))
+            self.net.add_link(host.name, "client", Constant(2))
+            self.caches.append(CacheServer(self.net, host, self.catalog))
+        self.monitor = HealthMonitor(
+            self.net, self.net.host("router"), self.caches,
+            interval_ms=100, probe_timeout_ms=50,
+            failure_threshold=failure_threshold)
+        self.router = TrafficRouter(
+            self.net, self.net.host("router"), Name("mycdn.ciab.test"),
+            zones=[CoverageZone("all", ["0.0.0.0/0"], self.caches)],
+            health_check=self.monitor.is_healthy)
+
+    def probe_all(self):
+        self.sim.run_until_resolved(
+            self.sim.spawn(self.monitor.probe_all_once()))
+
+    def query(self, name="video.demo1.mycdn.ciab.test"):
+        stub = StubResolver(self.net, self.net.host("client"),
+                            self.router.endpoint)
+        return self.sim.run_until_resolved(
+            self.sim.spawn(stub.query(Name(name))))
+
+
+class TestHealthMonitor:
+    def test_all_healthy_initially(self):
+        scenario = HealthScenario()
+        assert scenario.monitor.healthy_count == 3
+
+    def test_probe_confirms_live_caches(self):
+        scenario = HealthScenario()
+        scenario.probe_all()
+        assert scenario.monitor.healthy_count == 3
+        assert scenario.monitor.probes_sent == 3
+
+    def test_failure_threshold_hysteresis(self):
+        scenario = HealthScenario(failure_threshold=2)
+        scenario.caches[0].online = False
+        scenario.probe_all()
+        # One failed probe is not enough.
+        assert scenario.monitor.is_healthy(scenario.caches[0])
+        scenario.probe_all()
+        assert not scenario.monitor.is_healthy(scenario.caches[0])
+        assert scenario.monitor.transitions == 1
+
+    def test_recovery_on_first_success(self):
+        scenario = HealthScenario(failure_threshold=1)
+        scenario.caches[0].online = False
+        scenario.probe_all()
+        assert not scenario.monitor.is_healthy(scenario.caches[0])
+        scenario.caches[0].online = True
+        scenario.probe_all()
+        assert scenario.monitor.is_healthy(scenario.caches[0])
+        assert scenario.monitor.transitions == 2
+
+    def test_router_follows_monitor_belief(self):
+        scenario = HealthScenario(failure_threshold=1)
+        first_ip = scenario.query().addresses[0]
+        victim = next(cache for cache in scenario.caches
+                      if cache.endpoint.ip == first_ip)
+        victim.online = False
+        # Router still believes the cache is healthy (stale answer risk)...
+        assert scenario.query().addresses[0] == first_ip
+        # ...until the monitor detects the crash.
+        scenario.probe_all()
+        rerouted = scenario.query().addresses[0]
+        assert rerouted != first_ip
+
+    def test_continuous_monitoring_loop(self):
+        scenario = HealthScenario(failure_threshold=2)
+        scenario.monitor.start()
+        scenario.caches[1].online = False
+        scenario.sim.run(until=1000)
+        assert not scenario.monitor.is_healthy(scenario.caches[1])
+        assert scenario.monitor.healthy_count == 2
+        scenario.monitor.stop()
+
+    def test_invalid_threshold_rejected(self):
+        scenario = HealthScenario()
+        with pytest.raises(ValueError):
+            HealthMonitor(scenario.net, scenario.net.host("router"),
+                          scenario.caches, failure_threshold=0)

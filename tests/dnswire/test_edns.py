@@ -1,0 +1,97 @@
+"""Tests for EDNS0 and the RFC 7871 Client Subnet option."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.edns import (
+    AddressFamily,
+    ClientSubnet,
+    Edns,
+    EdnsOptionCode,
+    OpaqueOption,
+)
+from repro.errors import WireFormatError
+
+
+class TestClientSubnet:
+    def test_roundtrip_ipv4(self):
+        option = ClientSubnet("203.0.113.7", 24)
+        parsed = ClientSubnet.from_wire(option.to_wire())
+        assert parsed.address == "203.0.113.0"  # masked to /24
+        assert parsed.source_prefix == 24
+        assert parsed.scope_prefix == 0
+        assert parsed.family == AddressFamily.IPV4
+
+    def test_address_masked_to_source_prefix(self):
+        option = ClientSubnet("203.0.113.77", 20)
+        assert option.address == "203.0.112.0"
+
+    def test_wire_truncates_address_octets(self):
+        option = ClientSubnet("203.0.113.0", 24)
+        # family(2) + prefixes(2) + 3 address octets
+        assert len(option.to_wire()) == 7
+
+    def test_roundtrip_ipv6(self):
+        option = ClientSubnet("2001:db8:1234::1", 48)
+        parsed = ClientSubnet.from_wire(option.to_wire())
+        assert parsed.family == AddressFamily.IPV6
+        assert parsed.network() == ipaddress.ip_network("2001:db8:1234::/48")
+
+    def test_scope_prefix_roundtrip(self):
+        option = ClientSubnet("10.1.2.0", 24, scope_prefix=24)
+        assert ClientSubnet.from_wire(option.to_wire()).scope_prefix == 24
+
+    def test_with_scope(self):
+        base = ClientSubnet("10.1.2.0", 24)
+        scoped = base.with_scope(16)
+        assert scoped.scope_prefix == 16
+        assert scoped.address == base.address
+
+    def test_zero_prefix_carries_no_address(self):
+        option = ClientSubnet("1.2.3.4", 0)
+        assert option.address == "0.0.0.0"
+        assert len(option.to_wire()) == 4
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(WireFormatError):
+            ClientSubnet("10.0.0.1", 33)
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(WireFormatError):
+            ClientSubnet.from_wire(b"\x00\x07\x18\x00\x0a\x00\x00")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_any_ipv4_subnet_roundtrips(self, packed, prefix):
+        address = str(ipaddress.IPv4Address(packed))
+        option = ClientSubnet(address, prefix)
+        parsed = ClientSubnet.from_wire(option.to_wire())
+        assert parsed == option
+        assert parsed.network() == ipaddress.ip_network(
+            f"{address}/{prefix}", strict=False)
+
+
+class TestEdns:
+    def test_options_roundtrip(self):
+        edns = Edns(options=[ClientSubnet("198.51.100.0", 24)])
+        options = Edns.options_from_wire(edns.options_to_wire())
+        assert options == [ClientSubnet("198.51.100.0", 24)]
+
+    def test_unknown_option_is_opaque(self):
+        opaque = OpaqueOption(4242, b"\x01\x02")
+        edns = Edns(options=[opaque])
+        parsed = Edns.options_from_wire(edns.options_to_wire())
+        assert parsed == [opaque]
+
+    def test_client_subnet_accessor(self):
+        ecs = ClientSubnet("198.51.100.0", 24)
+        assert Edns(options=[ecs]).client_subnet == ecs
+        assert Edns().client_subnet is None
+
+    def test_option_lookup_by_code(self):
+        ecs = ClientSubnet("198.51.100.0", 24)
+        edns = Edns(options=[ecs])
+        assert edns.option(int(EdnsOptionCode.ECS)) == ecs
+        assert edns.option(999) is None

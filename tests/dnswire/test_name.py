@@ -1,0 +1,155 @@
+"""Tests for domain name handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.name import MAX_LABEL_LENGTH, Name, ROOT, derelativize
+from repro.errors import NameError_
+
+
+class TestConstruction:
+    def test_from_text_basic(self):
+        name = Name("www.example.com.")
+        assert name.labels == (b"www", b"example", b"com")
+
+    def test_trailing_dot_optional(self):
+        assert Name("www.example.com") == Name("www.example.com.")
+
+    def test_root(self):
+        assert Name(".").is_root
+        assert Name("").is_root
+        assert ROOT.is_root
+        assert ROOT.to_text() == "."
+
+    def test_from_labels(self):
+        name = Name.from_labels([b"a", b"b"])
+        assert name.to_text() == "a.b."
+
+    def test_label_too_long(self):
+        with pytest.raises(NameError_):
+            Name("a" * (MAX_LABEL_LENGTH + 1) + ".com")
+
+    def test_label_max_length_ok(self):
+        name = Name("a" * MAX_LABEL_LENGTH + ".com")
+        assert len(name.labels[0]) == MAX_LABEL_LENGTH
+
+    def test_name_too_long(self):
+        label = "a" * 60
+        with pytest.raises(NameError_):
+            Name(".".join([label] * 5))
+
+    def test_empty_interior_label_rejected(self):
+        with pytest.raises(NameError_):
+            Name("www..example.com")
+
+    def test_non_ascii_rejected(self):
+        with pytest.raises(NameError_):
+            Name("wüw.example.com")
+
+
+class TestComparison:
+    def test_case_insensitive_equality(self):
+        assert Name("WWW.Example.COM") == Name("www.example.com")
+
+    def test_case_insensitive_hash(self):
+        assert hash(Name("WWW.Example.COM")) == hash(Name("www.example.com"))
+
+    def test_original_case_preserved(self):
+        assert Name("WWW.Example.COM").to_text() == "WWW.Example.COM."
+
+    def test_inequality(self):
+        assert Name("a.example.com") != Name("b.example.com")
+
+    def test_not_equal_to_string(self):
+        assert Name("example.com") != "example.com"
+
+    def test_ordering_is_suffix_major(self):
+        # Canonical DNS order compares from the root downwards.
+        assert Name("a.example.com") < Name("b.example.com")
+        assert Name("z.alpha.com") < Name("a.beta.com")
+
+
+class TestStructure:
+    def test_parent(self):
+        assert Name("www.example.com").parent() == Name("example.com")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_is_subdomain_of(self):
+        assert Name("www.example.com").is_subdomain_of(Name("example.com"))
+        assert Name("example.com").is_subdomain_of(Name("example.com"))
+        assert not Name("example.com").is_subdomain_of(Name("www.example.com"))
+        assert not Name("badexample.com").is_subdomain_of(Name("example.com"))
+
+    def test_everything_is_under_root(self):
+        assert Name("www.example.com").is_subdomain_of(ROOT)
+
+    def test_subdomain_case_insensitive(self):
+        assert Name("WWW.EXAMPLE.COM").is_subdomain_of(Name("example.com"))
+
+    def test_relativize(self):
+        labels = Name("www.example.com").relativize(Name("example.com"))
+        assert labels == (b"www",)
+
+    def test_relativize_not_subdomain_raises(self):
+        with pytest.raises(NameError_):
+            Name("www.other.com").relativize(Name("example.com"))
+
+    def test_concatenate(self):
+        joined = Name("www").concatenate(Name("example.com"))
+        assert joined == Name("www.example.com")
+
+    def test_prepend(self):
+        assert Name("example.com").prepend("cdn") == Name("cdn.example.com")
+
+    def test_split_prefix(self):
+        prefix, rest = Name("a.b.example.com").split_prefix(2)
+        assert prefix == (b"a", b"b")
+        assert rest == Name("example.com")
+
+    def test_wire_length(self):
+        # 3 + 1 + 7 + 1 + 3 + 1 + root(1) = 17
+        assert Name("www.example.com").wire_length() == 17
+        assert ROOT.wire_length() == 1
+
+
+class TestDerelativize:
+    def test_relative_name(self):
+        name = derelativize("www", Name("example.com"))
+        assert name == Name("www.example.com")
+
+    def test_absolute_name_ignores_origin(self):
+        name = derelativize("www.other.net.", Name("example.com"))
+        assert name == Name("www.other.net")
+
+    def test_at_sign_is_origin(self):
+        assert derelativize("@", Name("example.com")) == Name("example.com")
+
+    def test_at_sign_without_origin_raises(self):
+        with pytest.raises(NameError_):
+            derelativize("@", None)
+
+
+_label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1, max_size=20)
+
+
+@given(st.lists(_label, min_size=0, max_size=6))
+def test_text_roundtrip_property(labels):
+    text = ".".join(labels) + "." if labels else "."
+    name = Name(text)
+    assert Name(name.to_text()) == name
+    assert len(name) == len(labels)
+
+
+@given(st.lists(_label, min_size=1, max_size=4), st.lists(_label, min_size=0, max_size=3))
+def test_concatenate_preserves_subdomain_property(suffix_labels, prefix_labels):
+    suffix = Name(".".join(suffix_labels))
+    combined = Name.from_labels(
+        tuple(label.encode() for label in prefix_labels) + suffix.labels)
+    assert combined.is_subdomain_of(suffix)
+    assert combined.relativize(suffix) == tuple(
+        label.encode() for label in prefix_labels)

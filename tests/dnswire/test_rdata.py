@@ -1,0 +1,149 @@
+"""Tests for typed rdata codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import (
+    A, AAAA, CNAME, GenericRdata, MX, NS, PTR, SOA, SRV, TXT,
+    parse_rdata, rdata_class_for,
+)
+from repro.dnswire.types import RecordType
+from repro.dnswire.wire import WireReader, WireWriter
+from repro.errors import WireFormatError
+
+
+def roundtrip(rdata, rtype):
+    writer = WireWriter()
+    rdata.to_wire(writer)
+    data = writer.getvalue()
+    return parse_rdata(int(rtype), WireReader(data), len(data))
+
+
+class TestA:
+    def test_roundtrip(self):
+        assert roundtrip(A("192.0.2.1"), RecordType.A) == A("192.0.2.1")
+
+    def test_text(self):
+        assert A("192.0.2.1").to_text() == "192.0.2.1"
+        assert A.from_text(["192.0.2.1"], Name(".")) == A("192.0.2.1")
+
+    def test_invalid_address(self):
+        with pytest.raises(ValueError):
+            A("999.1.1.1")
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(WireFormatError):
+            parse_rdata(int(RecordType.A), WireReader(b"\x01\x02\x03"), 3)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_any_ipv4_roundtrips(self, packed):
+        import ipaddress
+        address = str(ipaddress.IPv4Address(packed))
+        assert roundtrip(A(address), RecordType.A).address == address
+
+
+class TestAAAA:
+    def test_roundtrip(self):
+        rdata = AAAA("2001:db8::1")
+        assert roundtrip(rdata, RecordType.AAAA) == rdata
+
+    def test_canonical_form(self):
+        assert AAAA("2001:0db8:0000:0000:0000:0000:0000:0001").address == "2001:db8::1"
+
+
+class TestNameRdata:
+    def test_cname_roundtrip(self):
+        rdata = CNAME(Name("cdn.example.net"))
+        assert roundtrip(rdata, RecordType.CNAME) == rdata
+
+    def test_ns_ptr(self):
+        assert roundtrip(NS(Name("ns1.example.com")), RecordType.NS).target == \
+            Name("ns1.example.com")
+        assert roundtrip(PTR(Name("host.example.com")), RecordType.PTR).target == \
+            Name("host.example.com")
+
+    def test_from_text_relative(self):
+        rdata = CNAME.from_text(["cdn"], Name("example.com"))
+        assert rdata.target == Name("cdn.example.com")
+
+    def test_cname_and_ns_not_equal(self):
+        assert CNAME(Name("x.com")) != NS(Name("x.com"))
+
+
+class TestMX:
+    def test_roundtrip(self):
+        rdata = MX(10, Name("mail.example.com"))
+        assert roundtrip(rdata, RecordType.MX) == rdata
+
+    def test_text(self):
+        rdata = MX.from_text(["10", "mail"], Name("example.com"))
+        assert rdata.preference == 10
+        assert rdata.exchange == Name("mail.example.com")
+
+
+class TestTXT:
+    def test_roundtrip(self):
+        rdata = TXT((b"hello", b"world"))
+        assert roundtrip(rdata, RecordType.TXT) == rdata
+
+    def test_from_string_splits_at_255(self):
+        rdata = TXT.from_string("x" * 600)
+        assert [len(chunk) for chunk in rdata.strings] == [255, 255, 90]
+
+    def test_oversize_chunk_rejected(self):
+        with pytest.raises(WireFormatError):
+            TXT((b"x" * 256,))
+
+    def test_text_rendering(self):
+        assert TXT((b"a b",)).to_text() == '"a b"'
+
+
+class TestSOA:
+    def test_roundtrip(self):
+        rdata = SOA(Name("ns1.example.com"), Name("admin.example.com"),
+                    2024010101, 7200, 3600, 1209600, 300)
+        parsed = roundtrip(rdata, RecordType.SOA)
+        assert parsed == rdata
+        assert parsed.minimum == 300
+
+    def test_from_text(self):
+        rdata = SOA.from_text(
+            ["ns1", "admin", "1", "2", "3", "4", "5"], Name("example.com"))
+        assert rdata.mname == Name("ns1.example.com")
+        assert rdata.serial == 1
+        assert rdata.minimum == 5
+
+
+class TestSRV:
+    def test_roundtrip(self):
+        rdata = SRV(0, 5, 53, Name("dns.kube-system.svc.cluster.local"))
+        assert roundtrip(rdata, RecordType.SRV) == rdata
+
+
+class TestGeneric:
+    def test_unknown_type_roundtrips(self):
+        data = b"\x01\x02\x03\x04"
+        parsed = parse_rdata(999, WireReader(data), len(data))
+        assert isinstance(parsed, GenericRdata)
+        assert parsed.data == data
+        assert parsed.generic_rtype == 999
+
+    def test_rfc3597_text(self):
+        rdata = GenericRdata(b"\xde\xad")
+        assert rdata.to_text() == "\\# 2 dead"
+        assert GenericRdata.from_text(["\\#", "2", "dead"], Name(".")).data == b"\xde\xad"
+
+    def test_registry_lookup(self):
+        assert rdata_class_for(int(RecordType.A)) is A
+        assert rdata_class_for(4242) is GenericRdata
+
+
+class TestRdlengthValidation:
+    def test_underconsumed_rdata_rejected(self):
+        # A CNAME whose rdlength claims more bytes than the name uses.
+        writer = WireWriter()
+        CNAME(Name("a.b")).to_wire(writer)
+        data = writer.getvalue() + b"\x00"
+        with pytest.raises(WireFormatError):
+            parse_rdata(int(RecordType.CNAME), WireReader(data), len(data))

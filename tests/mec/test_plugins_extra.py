@@ -1,0 +1,136 @@
+"""Tests for the rewrite and loadbalance CoreDNS plugins."""
+
+import pytest
+
+from repro.dnswire import Name, RecordType, ResourceRecord, Zone
+from repro.dnswire.rdata import A, NS, SOA
+from repro.mec import CoreDnsServer, LoadBalancePlugin, Orchestrator, RewritePlugin
+from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
+from repro.resolver import StubResolver
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, RandomStreams(59))
+    node = net.add_host("node", "10.40.2.10")
+    net.add_host("ue", "10.45.0.2")
+    net.add_link("ue", "node", Constant(2))
+    orch = Orchestrator(net, "edge1")
+    orch.register_node(node)
+    # An internal service the rewrite target resolves to.
+    service = orch.create_service("cdn-frontend", namespace="cdn")
+    orch.deploy_pod(service)
+    return sim, net, node, orch, service
+
+
+def make_coredns(net, node, orch, front_plugins):
+    return CoreDnsServer(net, node, orch, enable_cache=False,
+                         front_plugins=front_plugins)
+
+
+def ask(sim, net, server, name):
+    stub = StubResolver(net, net.host("ue"), server.endpoint)
+    return sim.run_until_resolved(sim.spawn(stub.query(Name(name))))
+
+
+class TestRewritePlugin:
+    def test_external_name_maps_to_cluster_service(self, world):
+        sim, net, node, orch, service = world
+        rewrite = RewritePlugin(
+            from_suffix=Name("cdn.customer.example"),
+            to_suffix=Name("cdn.svc.cluster.local"))
+        coredns = make_coredns(net, node, orch, [rewrite])
+        result = ask(sim, net, coredns,
+                     "cdn-frontend.cdn.customer.example")
+        assert result.status == "NOERROR"
+        assert result.addresses == [service.cluster_ip]
+        # The client-visible owner name is the *external* one.
+        assert result.response.answers[0].name == \
+            Name("cdn-frontend.cdn.customer.example")
+        assert rewrite.rewritten == 1
+
+    def test_uncovered_names_pass_through(self, world):
+        sim, net, node, orch, service = world
+        rewrite = RewritePlugin(Name("cdn.customer.example"),
+                                Name("cdn.svc.cluster.local"))
+        coredns = make_coredns(net, node, orch, [rewrite])
+        result = ask(sim, net, coredns,
+                     "cdn-frontend.cdn.svc.cluster.local")
+        assert result.addresses == [service.cluster_ip]
+        assert rewrite.rewritten == 0
+
+    def test_map_and_unmap_are_inverse(self):
+        rewrite = RewritePlugin(Name("a.example"), Name("b.internal"))
+        mapped = rewrite.map_name(Name("www.x.a.example"))
+        assert mapped == Name("www.x.b.internal")
+        assert rewrite.unmap_name(mapped) == Name("www.x.a.example")
+        assert rewrite.map_name(Name("other.test")) is None
+
+
+class TestLoadBalancePlugin:
+    def test_rotation_spreads_first_answers(self):
+        sim = Simulator()
+        net = Network(sim, RandomStreams(3))
+        net.add_host("dns", "10.0.0.53")
+        net.add_host("ue", "10.0.0.2")
+        net.add_link("ue", "dns", Constant(1))
+        zone = Zone(Name("svc.test"))
+        zone.add(ResourceRecord(Name("svc.test"), RecordType.SOA, 300,
+                                SOA(Name("ns.svc.test"), Name("a.svc.test"),
+                                    1, 2, 3, 4, 60)))
+        zone.add(ResourceRecord(Name("svc.test"), RecordType.NS, 300,
+                                NS(Name("ns.svc.test"))))
+        for index in range(3):
+            zone.add(ResourceRecord(Name("app.svc.test"), RecordType.A, 300,
+                                    A(f"10.0.1.{index + 1}")))
+
+        # Wrap an authoritative answer path with the loadbalance plugin
+        # via a minimal chain-based server.
+        from repro.resolver import AuthoritativeServer
+        from repro.resolver.chain import Plugin, PluginChain, QueryContext
+
+        class AuthPlugin(Plugin):
+            name = "auth"
+
+            def __init__(self, server):
+                self.server = server
+
+            def handle(self, ctx, next_plugin):
+                return self.server.handle_query(ctx.query, ctx.client)
+                yield  # pragma: no cover
+
+        backend = AuthoritativeServer(net, net.add_host("backend",
+                                                        "10.0.0.80"),
+                                      [zone])
+        lb = LoadBalancePlugin()
+        chain = PluginChain([lb, AuthPlugin(backend)])
+
+        firsts = []
+        for _ in range(6):
+            from repro.dnswire import make_query
+            ctx = QueryContext(make_query(Name("app.svc.test"), msg_id=1),
+                               Endpoint("10.0.0.2", 40000))
+            response = sim.run_until_resolved(sim.spawn(chain.run(ctx)))
+            firsts.append(response.answer_addresses()[0])
+        assert set(firsts) == {"10.0.1.1", "10.0.1.2", "10.0.1.3"}
+
+    def test_single_answer_untouched(self):
+        from repro.dnswire import make_query, make_response
+        from repro.resolver.chain import Plugin, PluginChain, QueryContext
+
+        class OneAnswer(Plugin):
+            name = "one"
+
+            def handle(self, ctx, next_plugin):
+                answer = ResourceRecord(ctx.qname, RecordType.A, 30,
+                                        A("10.0.1.1"))
+                return make_response(ctx.query, answers=[answer])
+                yield  # pragma: no cover
+
+        sim = Simulator()
+        chain = PluginChain([LoadBalancePlugin(), OneAnswer()])
+        ctx = QueryContext(make_query(Name("x.test"), msg_id=1),
+                           Endpoint("10.0.0.2", 40000))
+        response = sim.run_until_resolved(sim.spawn(chain.run(ctx)))
+        assert response.answer_addresses() == ["10.0.1.1"]

@@ -1,0 +1,54 @@
+"""Tests for link bandwidth (serialization delay)."""
+
+import pytest
+
+from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator, UdpSocket
+
+
+def build(bandwidth_mbps):
+    sim = Simulator()
+    net = Network(sim, RandomStreams(7))
+    net.add_host("a", "10.0.0.1")
+    net.add_host("b", "10.0.0.2")
+    link = net.add_link("a", "b", Constant(5),
+                        bandwidth_mbps=bandwidth_mbps)
+    arrivals = []
+    server = UdpSocket(net.host("b"), port=9)
+    server.on_datagram = lambda payload, src, sock: arrivals.append(sim.now)
+    return sim, net, link, arrivals
+
+
+class TestBandwidth:
+    def test_no_bandwidth_means_pure_latency(self):
+        sim, net, link, arrivals = build(None)
+        UdpSocket(net.host("a")).send_to(b"x" * 10_000,
+                                         Endpoint("10.0.0.2", 9))
+        sim.run()
+        assert arrivals == [5.0]
+
+    def test_serialization_added_per_size(self):
+        # 1 Mbps = 125 B/ms; a 1250-byte packet costs 10 ms on the wire.
+        sim, net, link, arrivals = build(1.0)
+        UdpSocket(net.host("a")).send_to(b"x" * 1250,
+                                         Endpoint("10.0.0.2", 9))
+        sim.run()
+        assert arrivals == [pytest.approx(15.0)]
+
+    def test_small_packets_barely_affected(self):
+        sim, net, link, arrivals = build(1000.0)
+        UdpSocket(net.host("a")).send_to(b"x" * 125,
+                                         Endpoint("10.0.0.2", 9))
+        sim.run()
+        assert arrivals == [pytest.approx(5.001)]
+
+    def test_bytes_accounted(self):
+        sim, net, link, arrivals = build(10.0)
+        UdpSocket(net.host("a")).send_to(b"x" * 500, Endpoint("10.0.0.2", 9))
+        sim.run()
+        assert link.bytes_carried == 500
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            build(0)
+        with pytest.raises(ValueError):
+            build(-5)

@@ -1,0 +1,105 @@
+"""Tests for ECS-scoped caching in the recursive resolver (RFC 7871 §7.3).
+
+When an authoritative answer comes back with a non-zero ECS scope, the
+resolver must cache it *per client subnet* — otherwise one client's
+tailored answer leaks to clients in other subnets.  The CDN traffic
+router is exactly such a tailoring server, so this path matters here.
+"""
+
+import pytest
+
+from repro.dnswire import A, ClientSubnet, Name, RecordType, ResourceRecord, Zone
+from repro.dnswire.rdata import NS, SOA
+from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
+from repro.resolver import AuthoritativeServer, RecursiveResolver, StubResolver
+from repro.resolver.recursive import root_hints_from
+
+
+class SubnetTailoringAuthority(AuthoritativeServer):
+    """Answers with a different address per client /24 (scope 24)."""
+
+    def select_answer(self, qname, rtype, records, ecs, client):
+        if ecs is None or rtype != RecordType.A:
+            return records, 0
+        third_octet = ecs.address.split(".")[2]
+        tailored = [ResourceRecord(qname, RecordType.A, record.ttl,
+                                   A(f"198.18.{third_octet}.1"))
+                    for record in records]
+        return tailored, 24
+
+
+def build_zone():
+    zone = Zone(Name("tailored.test"))
+    zone.add(ResourceRecord(Name("tailored.test"), RecordType.SOA, 300,
+                            SOA(Name("ns.tailored.test"),
+                                Name("a.tailored.test"), 1, 2, 3, 4, 60)))
+    zone.add(ResourceRecord(Name("tailored.test"), RecordType.NS, 300,
+                            NS(Name("ns.tailored.test"))))
+    zone.add(ResourceRecord(Name("www.tailored.test"), RecordType.A, 300,
+                            A("198.18.0.1")))
+    return zone
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, RandomStreams(37))
+    net.add_host("client-a", "10.1.1.2")   # subnet 10.1.1.0/24
+    net.add_host("client-b", "10.1.2.2")   # subnet 10.1.2.0/24
+    net.add_host("resolver", "10.1.0.53")
+    net.add_host("root", "192.5.5.1")
+    net.add_link("client-a", "resolver", Constant(1))
+    net.add_link("client-b", "resolver", Constant(1))
+    net.add_link("resolver", "root", Constant(5))
+    # The "root" directly hosts the tailored zone for brevity: the
+    # resolver's root hints point straight at the tailoring authority.
+    SubnetTailoringAuthority(net, net.host("root"),
+                             [build_zone()], ecs_enabled=True)
+    resolver = RecursiveResolver(net, net.host("resolver"),
+                                 root_hints_from(("ns.tailored.test",
+                                                  "192.5.5.1")),
+                                 ecs_enabled=True)
+    return sim, net, resolver
+
+
+def query_from(sim, net, resolver, client_host):
+    stub = StubResolver(net, net.host(client_host), resolver.endpoint)
+    return sim.run_until_resolved(sim.spawn(
+        stub.query(Name("www.tailored.test"))))
+
+
+class TestEcsScopedCache:
+    def test_clients_in_different_subnets_get_different_answers(self, world):
+        sim, net, resolver = world
+        a = query_from(sim, net, resolver, "client-a")
+        b = query_from(sim, net, resolver, "client-b")
+        assert a.addresses == ["198.18.1.1"]
+        assert b.addresses == ["198.18.2.1"]
+
+    def test_scoped_answers_cached_per_subnet(self, world):
+        sim, net, resolver = world
+        query_from(sim, net, resolver, "client-a")
+        query_from(sim, net, resolver, "client-b")
+        sent_before = resolver.upstream_queries_sent
+        repeat_a = query_from(sim, net, resolver, "client-a")
+        repeat_b = query_from(sim, net, resolver, "client-b")
+        # Both repeats served from the ECS-scoped cache: no new upstream.
+        assert resolver.upstream_queries_sent == sent_before
+        assert repeat_a.addresses == ["198.18.1.1"]
+        assert repeat_b.addresses == ["198.18.2.1"]
+
+    def test_no_cross_subnet_leakage(self, world):
+        sim, net, resolver = world
+        query_from(sim, net, resolver, "client-a")
+        # Client B's first query must NOT reuse A's tailored answer.
+        b = query_from(sim, net, resolver, "client-b")
+        assert b.addresses != ["198.18.1.1"]
+
+    def test_scoped_entries_respect_ttl(self, world):
+        sim, net, resolver = world
+        query_from(sim, net, resolver, "client-a")
+        sim.run(until=sim.now + 400 * 1000)  # past the 300s TTL
+        sent_before = resolver.upstream_queries_sent
+        result = query_from(sim, net, resolver, "client-a")
+        assert result.addresses == ["198.18.1.1"]
+        assert resolver.upstream_queries_sent > sent_before

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment", "figure5"])
+        assert args.artifact == "figure5"
+        assert args.queries == 40
+        assert args.seed == 42
+
+    def test_dig_defaults(self):
+        args = build_parser().parse_args(["dig"])
+        assert args.deployment == "mec-ldns-mec-cdns"
+        assert args.count == 5
+        assert not args.ecs
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure9"])
+
+    def test_unknown_deployment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dig", "--deployment", "pigeon"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_deployments_listing(self, capsys):
+        assert main(["deployments"]) == 0
+        out = capsys.readouterr().out
+        assert "mec-ldns-mec-cdns" in out
+        assert "Cloudflare DNS" in out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "a0.muscache.com" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "MEC Provider" in capsys.readouterr().out
+
+    def test_figure5_small(self, capsys):
+        assert main(["experiment", "figure5", "--queries", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "MEC L-DNS w/ MEC C-DNS" in out
+        assert "ALL HOLD" in out
+
+    def test_dig_runs_queries(self, capsys):
+        assert main(["dig", "--count", "3", "--deployment",
+                     "mec-ldns-mec-cdns"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("NOERROR") == 3
+        assert "wireless" in out
+
+    def test_dig_with_ecs(self, capsys):
+        assert main(["dig", "--count", "2", "--ecs"]) == 0
+        assert capsys.readouterr().out.count("NOERROR") == 2
+
+    def test_dig_warns_on_other_name(self, capsys):
+        assert main(["dig", "www.google.com", "--count", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "note:" in captured.err
