@@ -1,0 +1,27 @@
+"""Benchmark: the deployments under injected faults (extension).
+
+Quantifies §3's resilience arguments: a crashed C-DNS or a partitioned
+MEC cluster sinks the baseline's availability, while serve-stale,
+backoff/hedging and provider fallback keep the resilient variants
+answering inside the deadline.
+"""
+
+from repro.experiments.resilience import check_shape, run
+
+
+def test_resilience(benchmark):
+    result = benchmark.pedantic(lambda: run(queries=40, seed=42),
+                                rounds=2, iterations=1)
+    assert check_shape(result) == []
+    benchmark.extra_info["availability"] = {
+        f"{row.scenario}/{row.deployment}/{row.mode}":
+        round(row.availability, 2)
+        for row in result.rows
+        if row.deployment == "mec-ldns-mec-cdns"}
+    benchmark.extra_info["p95_ms"] = {
+        f"{row.scenario}/{row.mode}": round(row.p95_ms, 1)
+        for row in result.rows
+        if row.deployment == "mec-ldns-mec-cdns"}
+    print()
+    print(result.render())
+    print("shape claims: ALL HOLD")

@@ -16,10 +16,12 @@ from repro.experiments.disaggregation import check_shape as fd
 from repro.experiments.envelope_sweep import check_shape as fs
 from repro.experiments import (run_mislocalization, run_disaggregation,
                                run_envelope_sweep, run_overload,
-                               run_access_latency, run_capacity)
+                               run_access_latency, run_capacity,
+                               run_resilience)
 from repro.experiments.access_latency import check_shape as fa
 from repro.experiments.capacity import check_shape as fc
 from repro.experiments.overload import check_shape as fo
+from repro.experiments.resilience import check_shape as fr
 
 
 def main() -> None:
@@ -70,6 +72,10 @@ def main() -> None:
     rc = run_capacity(seed=0)
     print(rc.render())
     print(f"Capacity shape claims: {'ALL HOLD' if not fc(rc) else fc(rc)}")
+    print()
+    rr = run_resilience(queries=40, seed=42)
+    print(rr.render())
+    print(f"Resilience shape claims: {'ALL HOLD' if not fr(rr) else fr(rr)}")
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from repro.measure import measure_deployment_queries, summarize
 
 _ARTIFACTS = ("table1", "table2", "figure2", "figure3", "figure5", "ecs",
               "mislocalization", "disaggregation", "envelope-sweep",
-              "overload", "access-latency", "capacity")
+              "overload", "access-latency", "capacity", "resilience")
 
 
 def _run_experiment(name: str, args: argparse.Namespace) -> None:
@@ -79,6 +79,11 @@ def _run_experiment(name: str, args: argparse.Namespace) -> None:
         from repro.experiments import capacity
         result = experiments.run_capacity(seed=args.seed)
         checker = capacity.check_shape
+    elif name == "resilience":
+        from repro.experiments import resilience
+        result = experiments.run_resilience(queries=args.queries,
+                                            seed=args.seed)
+        checker = resilience.check_shape
     else:
         result = experiments.run_mislocalization(trials=args.trials,
                                                  seed=args.seed)

@@ -13,7 +13,9 @@ from repro.core.meccdn import MecCdnSite
 from repro.core.deployments import (
     DEPLOYMENT_KEYS,
     DEPLOYMENT_LABELS,
+    ResilienceConfig,
     Testbed,
+    add_provider_ldns,
     build_testbed,
 )
 from repro.core.fallback import FallbackClient, FallbackResult
@@ -25,7 +27,9 @@ __all__ = [
     "MecCdnSite",
     "DEPLOYMENT_KEYS",
     "DEPLOYMENT_LABELS",
+    "ResilienceConfig",
     "Testbed",
+    "add_provider_ldns",
     "build_testbed",
     "FallbackClient",
     "FallbackResult",

@@ -39,6 +39,7 @@ from repro.netsim.packet import Endpoint
 from repro.netsim.rand import RandomStreams
 from repro.resolver.cache import DnsCache
 from repro.resolver.forwarder import ForwardingResolver
+from repro.resolver.retry import RetryPolicy
 
 #: The six Figure 5 bars, in paper order.
 DEPLOYMENT_KEYS = (
@@ -94,6 +95,29 @@ CLOUDFLARE_DNS_LATENCY = lognormal_from_median_p95(57.0, 86.0, shift=33.0)
 ECS_PROCESSING_OVERHEAD_MS = 0.15
 
 
+class ResilienceConfig(NamedTuple):
+    """Hardening knobs for running a deployment under injected faults.
+
+    The Figure 5 defaults are deliberately fragile: the MEC C-DNS
+    answers with TTL 0 (never cached, every query routed) and resolvers
+    give a failing upstream one 2-second shot.  This bundle makes the
+    resilient variant of the chaos experiment concrete:
+
+    * ``answer_ttl`` > 0 lets the CoreDNS cache hold the C-DNS answer
+      briefly, giving serve-stale something to serve;
+    * ``serve_stale`` turns on RFC 8767 at the resolver caches;
+    * ``coredns_upstream_timeout`` shortens the L-DNS's upstream wait so
+      a dead C-DNS is detected inside the client's patience, not after;
+    * ``upstream_retry_policy`` optionally adds backoff retries at the
+      forwarding hops.
+    """
+
+    serve_stale: bool = True
+    answer_ttl: int = 2
+    coredns_upstream_timeout: Optional[float] = 300.0
+    upstream_retry_policy: Optional[RetryPolicy] = None
+
+
 class Testbed(NamedTuple):
     """One instantiated deployment, ready to be measured."""
 
@@ -114,8 +138,13 @@ class Testbed(NamedTuple):
 
 
 def build_testbed(deployment: str, seed: int = 0, ecs: bool = False,
-                  profile: AccessProfile = TESTBED_LTE) -> Testbed:
-    """Build the testbed configured for one Figure 5 deployment."""
+                  profile: AccessProfile = TESTBED_LTE,
+                  resilience: Optional[ResilienceConfig] = None) -> Testbed:
+    """Build the testbed configured for one Figure 5 deployment.
+
+    ``resilience`` hardens the deployment for fault-injection runs; the
+    default ``None`` reproduces the Figure 5 configuration exactly.
+    """
     if deployment not in DEPLOYMENT_KEYS:
         raise ValueError(f"unknown deployment {deployment!r}; "
                          f"expected one of {DEPLOYMENT_KEYS}")
@@ -151,7 +180,7 @@ def build_testbed(deployment: str, seed: int = 0, ecs: bool = False,
 
     builder = _BUILDERS[deployment]
     mec_site, dns_target, expected_ips = builder(
-        network, epc, nodes, catalog, ecs, processing)
+        network, epc, nodes, catalog, ecs, processing, resilience)
     ue.switch_dns(dns_target)
     return Testbed(
         key=deployment,
@@ -168,7 +197,16 @@ def build_testbed(deployment: str, seed: int = 0, ecs: bool = False,
 # ---------------------------------------------------------------------------
 
 def _build_mec_site(network, nodes, catalog, ecs, processing,
+                    resilience=None,
                     cdns_endpoint_override=None) -> MecCdnSite:
+    kwargs = {}
+    answer_ttl = 0  # ATC-style: route every query, never pin a cache
+    if resilience is not None:
+        answer_ttl = resilience.answer_ttl
+        kwargs = dict(
+            serve_stale=resilience.serve_stale,
+            upstream_retry_policy=resilience.upstream_retry_policy,
+            coredns_upstream_timeout=resilience.coredns_upstream_timeout)
     return MecCdnSite(
         network, "edge1", nodes, catalog,
         cdn_domain=CDN_DOMAIN,
@@ -176,48 +214,59 @@ def _build_mec_site(network, nodes, catalog, ecs, processing,
         cache_count=2,
         warm_caches=True,
         ecs_enabled=ecs,
-        answer_ttl=0,  # ATC-style: route every query, never pin a cache
+        answer_ttl=answer_ttl,
         ldns_processing_delay=processing,
         cdns_processing_delay=processing,
-        cdns_endpoint_override=cdns_endpoint_override)
+        cdns_endpoint_override=cdns_endpoint_override,
+        **kwargs)
 
 
 def _external_cdns(network, host_name, ip, link_to, latency, caches, ecs,
-                   processing) -> TrafficRouter:
+                   processing, answer_ttl=0) -> TrafficRouter:
     """A C-DNS outside the cluster (LAN or WAN), as ETSI/3GPP propose."""
     host = network.add_host(host_name, ip)
     network.add_link(host_name, link_to, latency, name=f"link-{host_name}")
     zone = CoverageZone("all", ["0.0.0.0/0"], caches)
     return TrafficRouter(network, host, CDN_DOMAIN, zones=[zone],
-                         answer_ttl=0, ecs_enabled=ecs,
+                         answer_ttl=answer_ttl, ecs_enabled=ecs,
                          processing_delay=processing)
 
 
-def _deploy_mec_mec(network, epc, nodes, catalog, ecs, processing):
-    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+def _deploy_mec_mec(network, epc, nodes, catalog, ecs, processing,
+                    resilience=None):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience)
     return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
 
 
-def _deploy_mec_lan(network, epc, nodes, catalog, ecs, processing):
+def _deploy_mec_lan(network, epc, nodes, catalog, ecs, processing,
+                    resilience=None):
     # L-DNS at MEC, C-DNS outside the k8s cluster on the same LAN: the
     # best case of the ETSI/3GPP-style split the paper compares against.
     site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience,
                            cdns_endpoint_override=Endpoint("10.41.0.53", 53))
     _external_cdns(network, "lan-cdns", "10.41.0.53", epc.pgw.name,
-                   LAN_CDNS_LATENCY, site.caches, ecs, processing)
+                   LAN_CDNS_LATENCY, site.caches, ecs, processing,
+                   answer_ttl=0 if resilience is None
+                   else resilience.answer_ttl)
     return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
 
 
-def _deploy_mec_wan(network, epc, nodes, catalog, ecs, processing):
+def _deploy_mec_wan(network, epc, nodes, catalog, ecs, processing,
+                    resilience=None):
     site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience,
                            cdns_endpoint_override=Endpoint("203.0.113.53", 53))
     _external_cdns(network, "wan-cdns", "203.0.113.53", epc.pgw.name,
-                   WAN_CDNS_LATENCY, site.caches, ecs, processing)
+                   WAN_CDNS_LATENCY, site.caches, ecs, processing,
+                   answer_ttl=0 if resilience is None
+                   else resilience.answer_ttl)
     return site, site.ldns_endpoint, [c.endpoint.ip for c in site.caches]
 
 
 def _warmed_resolver(network, host_name, ip, link_to, latency, processing,
-                     cache_answer_ip) -> ForwardingResolver:
+                     cache_answer_ip, resilience=None) -> ForwardingResolver:
     """A resolver with the CDN A record already cached.
 
     Models the paper's observation that for established CDN domains "the
@@ -226,41 +275,71 @@ def _warmed_resolver(network, host_name, ip, link_to, latency, processing,
     """
     host = network.add_host(host_name, ip)
     network.add_link(host_name, link_to, latency, name=f"link-{host_name}")
-    cache = DnsCache()
+    kwargs = {}
+    if resilience is not None:
+        cache = DnsCache(serve_stale=resilience.serve_stale)
+        kwargs["retry_policy"] = resilience.upstream_retry_policy
+    else:
+        cache = DnsCache()
     cache.put_records(
         [ResourceRecord(QUERY_NAME, RecordType.A, 86400, A(cache_answer_ip))],
         now=0.0)
     return ForwardingResolver(network, host,
                               upstreams=[Endpoint("203.0.113.53", 53)],
-                              cache=cache, processing_delay=processing)
+                              cache=cache, processing_delay=processing,
+                              **kwargs)
 
 
-def _deploy_lan_ldns(network, epc, nodes, catalog, ecs, processing):
+def _deploy_lan_ldns(network, epc, nodes, catalog, ecs, processing,
+                     resilience=None):
     # The operator's L-DNS "connected via LAN behind the core network".
-    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience)
     cache_ip = site.caches[0].endpoint.ip
     resolver = _warmed_resolver(network, "carrier-ldns", "172.20.0.53",
                                 epc.pgw.name, CARRIER_LDNS_LATENCY,
-                                processing, cache_ip)
+                                processing, cache_ip, resilience)
     return site, resolver.endpoint, [cache_ip]
 
 
-def _deploy_google(network, epc, nodes, catalog, ecs, processing):
-    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+def _deploy_google(network, epc, nodes, catalog, ecs, processing,
+                   resilience=None):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience)
     cache_ip = site.caches[0].endpoint.ip
     resolver = _warmed_resolver(network, "google-dns", "8.8.8.8",
                                 epc.pgw.name, GOOGLE_DNS_LATENCY,
-                                processing, cache_ip)
+                                processing, cache_ip, resilience)
     return site, resolver.endpoint, [cache_ip]
 
 
-def _deploy_cloudflare(network, epc, nodes, catalog, ecs, processing):
-    site = _build_mec_site(network, nodes, catalog, ecs, processing)
+def _deploy_cloudflare(network, epc, nodes, catalog, ecs, processing,
+                       resilience=None):
+    site = _build_mec_site(network, nodes, catalog, ecs, processing,
+                           resilience)
     cache_ip = site.caches[0].endpoint.ip
     resolver = _warmed_resolver(network, "cloudflare-dns", "1.1.1.1",
                                 epc.pgw.name, CLOUDFLARE_DNS_LATENCY,
-                                processing, cache_ip)
+                                processing, cache_ip, resilience)
     return site, resolver.endpoint, [cache_ip]
+
+
+def add_provider_ldns(testbed: Testbed, ip: str = "172.21.0.53",
+                      serve_stale: bool = False) -> ForwardingResolver:
+    """Attach the carrier's L-DNS behind the core as a fallback target.
+
+    §3's mitigation — "have DNS requests ... be forwarded to L-DNS on
+    timeout from MEC DNS" — needs a provider resolver to fall back *to*.
+    The MEC deployments don't build one, so fault scenarios add it here:
+    a warmed resolver (the paper's never-expiring CDN A record) hanging
+    off the P-GW at carrier-L-DNS distance.
+    """
+    resolver = _warmed_resolver(
+        testbed.network, "provider-ldns", ip, testbed.epc.pgw.name,
+        CARRIER_LDNS_LATENCY, Constant(0.4),
+        testbed.expected_cache_ips[0],
+        ResilienceConfig(serve_stale=serve_stale) if serve_stale else None)
+    return resolver
 
 
 def build_custom_cdns_testbed(cdns_one_way_ms: float, seed: int = 0,

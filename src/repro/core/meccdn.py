@@ -33,6 +33,7 @@ from repro.netsim.latency import LatencyModel
 from repro.netsim.network import Network
 from repro.netsim.node import Host
 from repro.netsim.packet import Endpoint
+from repro.resolver.retry import RetryPolicy
 
 #: Cluster-internal CIDRs that count as the vRAN's private namespace.
 DEFAULT_INTERNAL_NETWORKS = ["10.40.0.0/16", "10.233.64.0/18", "10.96.0.0/16"]
@@ -58,7 +59,10 @@ class MecCdnSite:
                  ldns_processing_delay: Optional[LatencyModel] = None,
                  cdns_processing_delay: Optional[LatencyModel] = None,
                  service_cidr: str = "10.96.0.0/16",
-                 pod_cidr: str = "10.233.64.0/18") -> None:
+                 pod_cidr: str = "10.233.64.0/18",
+                 serve_stale: bool = False,
+                 upstream_retry_policy: Optional["RetryPolicy"] = None,
+                 coredns_upstream_timeout: Optional[float] = None) -> None:
         if not nodes:
             raise ValueError("a MEC site needs at least one node")
         self.network = network
@@ -117,6 +121,9 @@ class MecCdnSite:
             "enable_cache": enable_coredns_cache,
             "processing_delay": ldns_processing_delay,
             "ecs_inject": ecs_enabled,
+            "serve_stale": serve_stale,
+            "upstream_retry_policy": upstream_retry_policy,
+            "upstream_timeout": coredns_upstream_timeout,
         }
         self.ldns_pod: Pod = self.orchestrator.deploy_pod(
             self.ldns_service, starter=self._start_coredns)
@@ -146,7 +153,7 @@ class MecCdnSite:
         kwargs = {}
         if config["processing_delay"] is not None:
             kwargs["processing_delay"] = config["processing_delay"]
-        return CoreDnsServer(
+        server = CoreDnsServer(
             self.network, pod.host, self.orchestrator,
             stub_domains=config["stub_domains"],
             upstream=config["upstream"],
@@ -154,7 +161,14 @@ class MecCdnSite:
             front_plugins=[self.split_namespace],
             forward_ecs=True,
             ecs_inject=config["ecs_inject"],
+            serve_stale=config["serve_stale"],
+            upstream_retry_policy=config["upstream_retry_policy"],
             **kwargs)
+        if config["upstream_timeout"] is not None:
+            server.stub.timeout = config["upstream_timeout"]
+            if server.forward_plugin is not None:
+                server.forward_plugin.timeout = config["upstream_timeout"]
+        return server
 
     # -- public surface --------------------------------------------------------------
 

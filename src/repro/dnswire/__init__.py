@@ -27,6 +27,7 @@ from repro.dnswire.message import (
     Message,
     make_query,
     make_response,
+    mark_stale,
 )
 from repro.dnswire.rdata import (
     Rdata,
@@ -41,7 +42,8 @@ from repro.dnswire.rdata import (
     SRV,
     GenericRdata,
 )
-from repro.dnswire.edns import ClientSubnet, EdnsOptionCode, Edns
+from repro.dnswire.edns import (ClientSubnet, EdnsOptionCode, Edns,
+                                ExtendedDnsError)
 from repro.dnswire.zone import Zone, LookupResult, LookupStatus, parse_master_file
 
 __all__ = [
@@ -57,6 +59,7 @@ __all__ = [
     "Message",
     "make_query",
     "make_response",
+    "mark_stale",
     "Rdata",
     "A",
     "AAAA",
@@ -71,6 +74,7 @@ __all__ = [
     "ClientSubnet",
     "EdnsOptionCode",
     "Edns",
+    "ExtendedDnsError",
     "Zone",
     "LookupResult",
     "LookupStatus",

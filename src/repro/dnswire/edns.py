@@ -27,6 +27,7 @@ class EdnsOptionCode(enum.IntEnum):
 
     ECS = 8  # RFC 7871 Client Subnet
     COOKIE = 10  # RFC 7873 (opaque passthrough only)
+    EDE = 15  # RFC 8914 Extended DNS Errors
 
 
 class AddressFamily(enum.IntEnum):
@@ -149,8 +150,72 @@ class ClientSubnet(EdnsOption):
                 f"scope={self.scope_prefix})")
 
 
+class ExtendedDnsError(EdnsOption):
+    """RFC 8914 Extended DNS Error option.
+
+    Carries a 16-bit info-code plus optional UTF-8 extra text.  The
+    resolver uses info-code 3 ("Stale Answer") to mark serve-stale
+    responses (RFC 8767 §4 recommends exactly this), so clients and
+    measurements can tell a fresh answer from one served past its TTL
+    without any out-of-band signalling.
+    """
+
+    code = int(EdnsOptionCode.EDE)
+
+    #: RFC 8914 §4.4: the answer was served from cache past its TTL.
+    INFO_CODE_STALE_ANSWER = 3
+    #: RFC 8914 §4.23: no reachable authority (the upstream was down).
+    INFO_CODE_NETWORK_ERROR = 23
+
+    def __init__(self, info_code: int, extra_text: str = "") -> None:
+        if not 0 <= info_code <= 0xFFFF:
+            raise WireFormatError(f"EDE info-code {info_code} out of range")
+        self.info_code = info_code
+        self.extra_text = extra_text
+
+    @classmethod
+    def stale_answer(cls, extra_text: str = "") -> "ExtendedDnsError":
+        """The marker a serve-stale response carries."""
+        return cls(cls.INFO_CODE_STALE_ANSWER, extra_text)
+
+    @property
+    def is_stale_answer(self) -> bool:
+        return self.info_code == self.INFO_CODE_STALE_ANSWER
+
+    def to_wire(self) -> bytes:
+        """Serialise to wire format."""
+        writer = WireWriter()
+        writer.write_u16(self.info_code)
+        writer.write_bytes(self.extra_text.encode("utf-8"))
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "ExtendedDnsError":
+        reader = WireReader(data)
+        info_code = reader.read_u16()
+        extra = reader.read_bytes(reader.remaining)
+        try:
+            text = extra.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireFormatError(f"EDE extra text is not UTF-8: {error}")
+        return cls(info_code, text)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ExtendedDnsError)
+                and (self.info_code, self.extra_text)
+                == (other.info_code, other.extra_text))
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.info_code, self.extra_text))
+
+    def __repr__(self) -> str:
+        text = f", {self.extra_text!r}" if self.extra_text else ""
+        return f"ExtendedDnsError({self.info_code}{text})"
+
+
 _OPTION_CLASSES: Dict[int, Type[EdnsOption]] = {
     int(EdnsOptionCode.ECS): ClientSubnet,
+    int(EdnsOptionCode.EDE): ExtendedDnsError,
 }
 
 
@@ -176,6 +241,11 @@ class Edns:
     def client_subnet(self) -> Optional[ClientSubnet]:
         opt = self.option(int(EdnsOptionCode.ECS))
         return opt if isinstance(opt, ClientSubnet) else None
+
+    @property
+    def extended_error(self) -> Optional[ExtendedDnsError]:
+        opt = self.option(int(EdnsOptionCode.EDE))
+        return opt if isinstance(opt, ExtendedDnsError) else None
 
     def options_to_wire(self) -> bytes:
         """Encode the option list as OPT rdata octets."""

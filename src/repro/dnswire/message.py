@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.dnswire.edns import Edns
+from repro.dnswire.edns import Edns, ExtendedDnsError
 from repro.dnswire.name import Name
 from repro.dnswire.rdata import Rdata, parse_rdata
 from repro.dnswire.types import Opcode, Rcode, RecordClass, RecordType
@@ -376,3 +376,17 @@ def make_response(query: Message, rcode: Rcode = Rcode.NOERROR,
         # Mirror the client's EDNS; servers adjust options (e.g. ECS scope).
         msg.edns = Edns(options=list(query.edns.options))
     return msg
+
+
+def mark_stale(response: Message, extra_text: str = "") -> Message:
+    """Stamp ``response`` as a stale answer (RFC 8767 via RFC 8914).
+
+    Adds EDNS state when the response has none, then appends the
+    "Stale Answer" extended-error option so clients can tell an
+    expired-TTL answer from a fresh one on the wire.
+    """
+    if response.edns is None:
+        response.edns = Edns()
+    if response.edns.extended_error is None:
+        response.edns.options.append(ExtendedDnsError.stale_answer(extra_text))
+    return response

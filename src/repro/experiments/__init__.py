@@ -8,6 +8,7 @@
 | :mod:`repro.experiments.figure3`| Figure 3 (answer distribution)       |
 | :mod:`repro.experiments.figure5`| Figure 5 (six DNS deployments)       |
 | :mod:`repro.experiments.ecs`    | §4 ECS sensitivity experiment        |
+| :mod:`repro.experiments.resilience` | §3 fault-injection chaos grid    |
 
 Each module exposes ``run(...)`` returning a structured result with a
 ``render()`` method that prints the paper-comparable rows/series.
@@ -25,6 +26,7 @@ from repro.experiments.envelope_sweep import run as run_envelope_sweep
 from repro.experiments.overload import run as run_overload
 from repro.experiments.access_latency import run as run_access_latency
 from repro.experiments.capacity import run as run_capacity
+from repro.experiments.resilience import run as run_resilience
 
 __all__ = [
     "run_access_latency",
@@ -32,6 +34,7 @@ __all__ = [
     "run_disaggregation",
     "run_envelope_sweep",
     "run_overload",
+    "run_resilience",
     "run_table1",
     "run_table2",
     "run_figure2",

@@ -8,13 +8,18 @@
 """
 
 from repro.measure.stats import SummaryStats, summarize, trimmed, percentile
-from repro.measure.runner import QueryMeasurement, measure_deployment_queries
+from repro.measure.runner import (MeasurementRun, QueryMeasurement,
+                                  RetryStats, measure_deployment_queries,
+                                  measure_deployment_run)
 
 __all__ = [
     "SummaryStats",
     "summarize",
     "trimmed",
     "percentile",
+    "MeasurementRun",
     "QueryMeasurement",
+    "RetryStats",
     "measure_deployment_queries",
+    "measure_deployment_run",
 ]

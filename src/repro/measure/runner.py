@@ -7,6 +7,11 @@ the P-GW.  :func:`measure_deployment_queries` reproduces this: a
 :class:`~repro.netsim.trace.PacketTrace` at the gateway host timestamps
 the query and reply as they cross the P-GW; the difference attributes the
 round trip to the two segments.
+
+For fault-injection runs, :func:`measure_deployment_run` additionally
+reports retry behaviour — attempts per lookup, timeouts burned, hedges
+and stale answers — as a :class:`RetryStats`, since under faults *how
+hard the client worked* is as load-bearing as the latency itself.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from typing import Generator, List, NamedTuple, Optional
 
 from repro.core.deployments import Testbed
 from repro.netsim.trace import PacketTrace
+from repro.resolver.retry import RetryPolicy
+from repro.resolver.stub import StubResolver
 
 
 class QueryMeasurement(NamedTuple):
@@ -26,6 +33,32 @@ class QueryMeasurement(NamedTuple):
     addresses: List[str]
     status: str
     started_at: float
+    attempts: int = 1       # client transmissions this lookup took
+    stale: bool = False     # answer served past its TTL (RFC 8767)
+
+
+class RetryStats(NamedTuple):
+    """Aggregate client-side resilience accounting for one run."""
+
+    queries: int            # lookups attempted (including failed ones)
+    answered: int           # lookups that produced any response
+    attempts: int           # total transmissions across all lookups
+    timeouts_seen: int      # per-attempt timeouts burned
+    servfails_seen: int     # SERVFAIL responses absorbed by retries
+    stale_answers: int      # answers marked stale (RFC 8914 EDE 3)
+    hedges_sent: int        # hedged second queries actually transmitted
+
+    @property
+    def mean_attempts(self) -> float:
+        """Average transmissions per lookup (1.0 = no retries needed)."""
+        return self.attempts / self.queries if self.queries else 0.0
+
+
+class MeasurementRun(NamedTuple):
+    """Measurements plus the retry accounting behind them."""
+
+    measurements: List[QueryMeasurement]
+    retries: RetryStats
 
 
 def measure_deployment_queries(testbed: Testbed, count: int,
@@ -36,18 +69,52 @@ def measure_deployment_queries(testbed: Testbed, count: int,
     Warmup queries let resolvers with warm-cache semantics settle (and
     mirror the practice of discarding the first dig of a session).
     """
+    return measure_deployment_run(testbed, count, spacing_ms=spacing_ms,
+                                  warmup=warmup).measurements
+
+
+def measure_deployment_run(testbed: Testbed, count: int,
+                           spacing_ms: float = 500.0,
+                           warmup: int = 1,
+                           policy: Optional[RetryPolicy] = None,
+                           stub: Optional[StubResolver] = None) -> MeasurementRun:
+    """Like :func:`measure_deployment_queries`, with retry accounting.
+
+    ``policy`` (or a fully custom ``stub``) configures the client's
+    retry behaviour.  A lookup whose every attempt fails is recorded as
+    a ``TIMEOUT`` measurement with empty addresses rather than aborting
+    the run — under fault injection, failures are data.
+    """
     if count <= 0:
         raise ValueError("need a positive query count")
     trace = PacketTrace(testbed.network, host_filter=testbed.gateway_host)
-    stub = testbed.ue.stub()
+    if stub is None:
+        stub = testbed.ue.stub()
+        stub.policy = policy
     sim = testbed.sim
     measurements: List[QueryMeasurement] = []
+    failed = {"queries": 0}
 
     def driver() -> Generator:
         for index in range(warmup + count):
             trace.clear()
             started = sim.now
-            result = yield from stub.query(testbed.query_name)
+            try:
+                result = yield from stub.query(testbed.query_name)
+            except Exception:  # noqa: BLE001 - timeouts are data here
+                failed["queries"] += 1
+                if index >= warmup:
+                    measurements.append(QueryMeasurement(
+                        latency_ms=sim.now - started,
+                        wireless_ms=0.0,
+                        resolver_ms=sim.now - started,
+                        addresses=[],
+                        status="TIMEOUT",
+                        started_at=started,
+                        attempts=(stub.retries if stub.policy is None
+                                  else stub.policy.retries) + 1))
+                yield spacing_ms
+                continue
             finished = sim.now
             if index >= warmup:
                 wireless = _wireless_portion(trace, started, finished)
@@ -58,12 +125,23 @@ def measure_deployment_queries(testbed: Testbed, count: int,
                     resolver_ms=max(total - wireless, 0.0),
                     addresses=result.addresses,
                     status=result.status,
-                    started_at=started))
+                    started_at=started,
+                    attempts=result.attempts,
+                    stale=result.stale))
             yield spacing_ms
 
     sim.run_until_resolved(sim.spawn(driver()))
     trace.close()
-    return measurements
+    total_queries = warmup + count
+    stats = RetryStats(
+        queries=total_queries,
+        answered=total_queries - failed["queries"],
+        attempts=stub.queries_issued,
+        timeouts_seen=stub.timeouts_seen,
+        servfails_seen=stub.servfails_seen,
+        stale_answers=sum(1 for m in measurements if m.stale),
+        hedges_sent=stub.hedges_sent)
+    return MeasurementRun(measurements=measurements, retries=stats)
 
 
 def _wireless_portion(trace: PacketTrace, started: float,

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.dnswire.message import Message, ResourceRecord, make_query, make_response
+from repro.dnswire.message import (Message, ResourceRecord, make_query,
+                                   make_response, mark_stale)
 from repro.dnswire.name import Name
 from repro.dnswire.rdata import A
 from repro.dnswire.types import Rcode, RecordType
@@ -28,6 +29,7 @@ from repro.mec.cluster import Orchestrator
 from repro.netsim.packet import Endpoint
 from repro.resolver.cache import CacheOutcome, DnsCache
 from repro.resolver.chain import Plugin, PluginChain, QueryContext
+from repro.resolver.retry import RetryPolicy
 from repro.resolver.server import DnsServer
 
 #: TTL for service-discovery answers (kubernetes plugin default is 5s).
@@ -35,13 +37,21 @@ SERVICE_TTL = 5
 
 
 class CachePlugin(Plugin):
-    """Serves repeat queries from a local cache; fills it on the way out."""
+    """Serves repeat queries from a local cache; fills it on the way out.
+
+    With ``serve_stale`` (RFC 8767), a downstream SERVFAIL — the rest of
+    the chain could not reach an upstream — is answered from an expired
+    entry instead, marked with the stale-answer EDNS option.
+    """
 
     name = "cache"
 
-    def __init__(self, cache: Optional[DnsCache] = None) -> None:
-        self.cache = cache if cache is not None else DnsCache()
+    def __init__(self, cache: Optional[DnsCache] = None,
+                 serve_stale: bool = False) -> None:
+        self.cache = (cache if cache is not None
+                      else DnsCache(serve_stale=serve_stale))
         self._owner: Optional[DnsServer] = None
+        self.stale_served = 0
 
     def bind(self, owner: DnsServer) -> None:
         """Attach the plugin to its owning server (for clock access)."""
@@ -59,6 +69,17 @@ class CachePlugin(Plugin):
             return make_response(ctx.query, rcode=Rcode.NXDOMAIN,
                                  recursion_available=True)
         response = yield from next_plugin(ctx)
+        if self.cache.serve_stale and (
+                response is None or response.rcode == Rcode.SERVFAIL):
+            stale = self.cache.get_stale(ctx.qname, ctx.rtype,
+                                         self._owner.network.sim.now)
+            if stale.outcome == CacheOutcome.HIT:
+                self.stale_served += 1
+                reply = make_response(ctx.query, recursion_available=True,
+                                      answers=stale.records)
+                if stale.stale:
+                    mark_stale(reply)
+                return reply
         if response is not None and response.rcode == Rcode.NOERROR \
                 and response.answers:
             positive = [record for record in response.answers if record.ttl > 0]
@@ -98,39 +119,54 @@ class KubernetesPlugin(Plugin):
 
 
 class _ForwardingPluginBase(Plugin):
-    """Shared upstream-forwarding machinery."""
+    """Shared upstream-forwarding machinery.
+
+    ``retry_policy`` turns the single upstream exchange into a retry
+    loop with backed-off per-attempt timeouts.
+    """
 
     def __init__(self, timeout: float = 2000.0,
-                 forward_ecs: bool = True) -> None:
+                 forward_ecs: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.timeout = timeout
         self.forward_ecs = forward_ecs
+        self.retry_policy = retry_policy
         self._owner: Optional[DnsServer] = None
         self.forwarded = 0
+        self.upstream_retries = 0
 
     def bind(self, owner: DnsServer) -> None:
         self._owner = owner
 
     def _forward(self, ctx: QueryContext, upstream: Endpoint) -> Generator:
         assert self._owner is not None, "plugin not bound to a server"
-        query = make_query(ctx.qname, ctx.rtype,
-                           msg_id=self._owner.allocate_query_id(),
-                           recursion_desired=True)
-        if self.forward_ecs and ctx.query.edns is not None:
-            query.edns = ctx.query.edns
-        try:
-            self.forwarded += 1
-            response = yield from self._owner.query_upstream(
-                query, upstream, self.timeout)
-        except (QueryTimeout, WireFormatError):
-            return make_response(ctx.query, rcode=Rcode.SERVFAIL)
-        reply = make_response(ctx.query, rcode=response.rcode,
-                              recursion_available=True,
-                              answers=response.answers,
-                              authorities=response.authorities,
-                              additionals=response.additionals)
-        if response.edns is not None and reply.edns is not None:
-            reply.edns.options = list(response.edns.options)
-        return reply
+        policy = self.retry_policy
+        attempts = 1 + (policy.retries if policy is not None else 0)
+        for attempt in range(1, attempts + 1):
+            per_try_timeout = (policy.timeout_for(attempt)
+                               if policy is not None else self.timeout)
+            query = make_query(ctx.qname, ctx.rtype,
+                               msg_id=self._owner.allocate_query_id(),
+                               recursion_desired=True)
+            if self.forward_ecs and ctx.query.edns is not None:
+                query.edns = ctx.query.edns
+            try:
+                self.forwarded += 1
+                if attempt > 1:
+                    self.upstream_retries += 1
+                response = yield from self._owner.query_upstream(
+                    query, upstream, per_try_timeout)
+            except (QueryTimeout, WireFormatError):
+                continue
+            reply = make_response(ctx.query, rcode=response.rcode,
+                                  recursion_available=True,
+                                  answers=response.answers,
+                                  authorities=response.authorities,
+                                  additionals=response.additionals)
+            if response.edns is not None and reply.edns is not None:
+                reply.edns.options = list(response.edns.options)
+            return reply
+        return make_response(ctx.query, rcode=Rcode.SERVFAIL)
 
 
 class StubDomainPlugin(_ForwardingPluginBase):
@@ -197,7 +233,10 @@ class CoreDnsServer(DnsServer):
                  front_plugins: Optional[List[Plugin]] = None,
                  forward_ecs: bool = True,
                  ecs_inject: bool = False,
-                 ecs_prefix: int = 24, **kwargs) -> None:
+                 ecs_prefix: int = 24,
+                 serve_stale: bool = False,
+                 upstream_retry_policy: Optional[RetryPolicy] = None,
+                 **kwargs) -> None:
         super().__init__(network, host, **kwargs)
         #: When set, synthesize an ECS option carrying the client's subnet
         #: on queries that arrive without one (the §4 ECS experiment
@@ -205,17 +244,19 @@ class CoreDnsServer(DnsServer):
         self.ecs_inject = ecs_inject
         self.ecs_prefix = ecs_prefix
         self.kubernetes = KubernetesPlugin(orchestrator, cluster_domain)
-        self.stub = StubDomainPlugin(stub_domains, forward_ecs=forward_ecs)
+        self.stub = StubDomainPlugin(stub_domains, forward_ecs=forward_ecs,
+                                     retry_policy=upstream_retry_policy)
         plugins: List[Plugin] = list(front_plugins or [])
         self.cache_plugin: Optional[CachePlugin] = None
         if enable_cache:
-            self.cache_plugin = CachePlugin()
+            self.cache_plugin = CachePlugin(serve_stale=serve_stale)
             plugins.append(self.cache_plugin)
         plugins.extend([self.kubernetes, self.stub])
         self.forward_plugin: Optional[ForwardPlugin] = None
         if upstream is not None:
-            self.forward_plugin = ForwardPlugin(upstream,
-                                                forward_ecs=forward_ecs)
+            self.forward_plugin = ForwardPlugin(
+                upstream, forward_ecs=forward_ecs,
+                retry_policy=upstream_retry_policy)
             plugins.append(self.forward_plugin)
         self.chain = PluginChain(plugins)
         for plugin in plugins:

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.netsim.network import Network
 from repro.netsim.node import Host
 from repro.netsim.packet import Endpoint
+from repro.resolver.retry import RetryPolicy
 from repro.resolver.stub import StubResolver
 
 
@@ -51,10 +52,15 @@ class UserEquipment:
             raise ValueError(f"UE {self.name} has no default DNS to restore")
         self.switch_dns(self._default_dns)
 
-    def stub(self, timeout: float = 3000.0, retries: int = 2) -> StubResolver:
-        """A stub resolver bound to the UE's current DNS target."""
+    def stub(self, timeout: float = 3000.0, retries: int = 2,
+             policy: Optional["RetryPolicy"] = None) -> StubResolver:
+        """A stub resolver bound to the UE's current DNS target.
+
+        ``policy`` installs a :class:`~repro.resolver.retry.RetryPolicy`
+        (backoff, budget, hedging) for fault-injection runs.
+        """
         return StubResolver(self.network, self.host, self.dns,
-                            timeout=timeout, retries=retries)
+                            timeout=timeout, retries=retries, policy=policy)
 
     def __repr__(self) -> str:
         attached = self.base_station.name if self.base_station else "detached"

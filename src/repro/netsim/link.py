@@ -34,6 +34,15 @@ class Link:
         #: Serialization rate; None models an uncongested fat pipe where
         #: per-packet transmission time is negligible.
         self.bandwidth_mbps = bandwidth_mbps
+        #: Fault-injection state (see :mod:`repro.faults`).  ``down`` black-
+        #: holes every traversal; ``extra_loss`` adds to the base i.i.d.
+        #: loss; ``loss_model`` (anything with ``lost(rng) -> bool``, e.g.
+        #: Gilbert–Elliott) *replaces* the i.i.d. draw while installed.
+        #: All three default to the no-fault values so an idle link costs
+        #: nothing beyond the attribute checks.
+        self.down = False
+        self.extra_loss = 0.0
+        self.loss_model = None
         self.packets_carried = 0
         self.packets_dropped = 0
         self.bytes_carried = 0
@@ -49,9 +58,18 @@ class Link:
         With a bandwidth configured, the packet additionally pays its
         serialization time (size / rate); 1 Mbps = 125 bytes/ms.
         """
-        if self.loss and rng.random() < self.loss:
+        if self.down:
             self.packets_dropped += 1
             return None
+        if self.loss_model is not None:
+            if self.loss_model.lost(rng):
+                self.packets_dropped += 1
+                return None
+        else:
+            loss = self.loss + self.extra_loss
+            if loss and rng.random() < loss:
+                self.packets_dropped += 1
+                return None
         self.packets_carried += 1
         self.bytes_carried += size_bytes
         delay = self.latency_from(origin).sample(rng)

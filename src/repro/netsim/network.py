@@ -41,6 +41,11 @@ class Network:
         self._ip_index: Dict[str, Host] = {}
         self._taps: List[Tap] = []
         self._paths: Optional[Dict[str, Dict[str, List[str]]]] = None
+        #: Active partitions: (group_a, group_b) pairs of host-name sets.
+        #: ``group_b is None`` means "everything not in group_a".  Empty
+        #: when no fault plan is active, so the per-packet check is one
+        #: truthiness test.
+        self._partitions: List[Tuple[frozenset, Optional[frozenset]]] = []
 
     # -- construction -------------------------------------------------------------
 
@@ -131,6 +136,40 @@ class Network:
         except KeyError:
             raise RoutingError(f"no link between {a} and {b}") from None
 
+    # -- partitions (fault injection) ---------------------------------------------
+
+    def partition(self, group_a, group_b=None) -> Tuple[frozenset,
+                                                        Optional[frozenset]]:
+        """Split the topology: drop traffic between the two host groups.
+
+        ``group_b=None`` isolates ``group_a`` from every other host.  The
+        returned token heals the cut via :meth:`heal_partition`.  Packets
+        are dropped by endpoint membership (src in one group, dst in the
+        other), which black-holes the traffic a real partition would.
+        """
+        token = (frozenset(group_a),
+                 None if group_b is None else frozenset(group_b))
+        for name in token[0] | (token[1] or frozenset()):
+            if name not in self._hosts:
+                raise AddressError(f"unknown host {name}")
+        self._partitions.append(token)
+        return token
+
+    def heal_partition(self, token) -> None:
+        """Remove a partition installed by :meth:`partition`."""
+        self._partitions.remove(token)
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether an active partition separates two hosts."""
+        for group_a, group_b in self._partitions:
+            src_in_a, dst_in_a = src in group_a, dst in group_a
+            if group_b is None:
+                if src_in_a != dst_in_a:
+                    return True
+            elif (src_in_a and dst in group_b) or (dst_in_a and src in group_b):
+                return True
+        return False
+
     def add_tap(self, tap: Tap) -> None:
         """Register a packet observer (see PacketTrace)."""
         self._taps.append(tap)
@@ -182,6 +221,9 @@ class Network:
         except AddressError:
             self._schedule_tap("drop", at.name, datagram, elapsed)
             return
+        if self._partitions and self.is_partitioned(at.name, dst_host.name):
+            self._schedule_tap("drop", at.name, datagram, elapsed)
+            return
         hops = self.path(at.name, dst_host.name)
         rng = self.streams.stream("link-delays")
         current = datagram
@@ -217,9 +259,13 @@ class Network:
                 self._walk(processed, final_host, elapsed, reroutes + 1)
                 return
             current = processed
-        self.sim.call_after(elapsed, lambda: self._deliver(final_host, current))
+        self.sim.call_after(elapsed + final_host.brownout_ms,
+                            lambda: self._deliver(final_host, current))
 
     def _deliver(self, host: Host, datagram: Datagram) -> None:
+        if host.down:
+            self._emit("drop", host.name, datagram)
+            return
         self._emit("deliver", host.name, datagram)
         sock = host.socket_on_port(datagram.dst.port)
         if sock is None:

@@ -41,6 +41,12 @@ class Host:
         self.middlebox: Optional[Middlebox] = None
         self._sockets: Dict[int, "UdpSocket"] = {}
         self._next_ephemeral = 49152
+        #: Fault-injection state (see :mod:`repro.faults`).  A ``down``
+        #: host silently drops every datagram delivered to it (a crashed
+        #: machine); ``brownout_ms`` adds that much delay to each delivery
+        #: (a machine that is up but pathologically slow).
+        self.down = False
+        self.brownout_ms = 0.0
 
     # -- addressing ----------------------------------------------------------
 

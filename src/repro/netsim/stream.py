@@ -91,36 +91,58 @@ class StreamChannel:
         self.connected = False
         self.round_trips = 0
 
-    def connect(self) -> Generator:
-        """Process: the handshake round trip; returns self when open."""
+    def connect(self, timeout: Optional[float] = None) -> Generator:
+        """Process: the handshake round trip; returns self when open.
+
+        ``timeout`` bounds the whole handshake (ms); None keeps only the
+        per-retransmission bound.
+        """
         token = f"{self.host.name}:{id(self)}".encode()
         reply = yield from self._reliable_exchange(_segment(b"SYN", token),
-                                                   expect=b"SYNACK")
+                                                   expect=b"SYNACK",
+                                                   timeout=timeout)
         if _split_segment(reply)[1] != token:
             raise SocketError("handshake token mismatch")
         self.connected = True
         return self
 
-    def exchange(self, payload: bytes) -> Generator:
-        """Process: send ``payload``, return the server's response bytes."""
+    def exchange(self, payload: bytes,
+                 timeout: Optional[float] = None) -> Generator:
+        """Process: send ``payload``, return the server's response bytes.
+
+        ``timeout`` is an overall deadline in ms for the exchange; when it
+        expires — a server that accepted the connection and then died
+        mid-stream never answers — :class:`QueryTimeout` is raised instead
+        of retransmitting forever.
+        """
         if not self.connected:
             raise SocketError("exchange on an unconnected stream channel")
         reply = yield from self._reliable_exchange(_segment(b"REQ", payload),
-                                                   expect=b"RSP")
+                                                   expect=b"RSP",
+                                                   timeout=timeout)
         return _split_segment(reply)[1]
 
     def close(self) -> None:
         """Release the underlying socket resources."""
         self.connected = False
 
-    def _reliable_exchange(self, segment: bytes, expect: bytes) -> Generator:
+    def _reliable_exchange(self, segment: bytes, expect: bytes,
+                           timeout: Optional[float] = None) -> Generator:
         """Send with retransmission until a matching segment returns."""
+        sim = self.network.sim
+        deadline = None if timeout is None else sim.now + timeout
         last_error: Optional[Exception] = None
         for _ in range(_MAX_RETRANSMITS):
+            attempt_timeout = _RETRANSMIT_TIMEOUT
+            if deadline is not None:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    break
+                attempt_timeout = min(attempt_timeout, remaining)
             sock = UdpSocket(self.host)
             try:
                 reply = yield sock.request(segment, self.peer,
-                                           _RETRANSMIT_TIMEOUT)
+                                           attempt_timeout)
             except QueryTimeout as error:
                 last_error = error
                 continue
@@ -131,15 +153,18 @@ class StreamChannel:
                 return reply.payload
             last_error = SocketError(
                 f"unexpected segment {reply.payload[:12]!r}")
+        if deadline is not None and sim.now >= deadline:
+            raise QueryTimeout(
+                f"stream exchange with {self.peer} exceeded {timeout}ms")
         raise last_error if last_error is not None else QueryTimeout(
             f"stream exchange with {self.peer} failed")
 
 
-def open_channel(network: Network, host: Host,
-                 peer: Endpoint) -> Generator:
+def open_channel(network: Network, host: Host, peer: Endpoint,
+                 timeout: Optional[float] = None) -> Generator:
     """Process: connect a new channel to ``peer`` (handshake included)."""
     channel = StreamChannel(network, host, peer)
-    yield from channel.connect()
+    yield from channel.connect(timeout=timeout)
     return channel
 
 

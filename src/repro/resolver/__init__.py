@@ -12,6 +12,8 @@
 * :mod:`repro.resolver.stub` — the client side; its :class:`DigResult`
   mirrors the fields the paper reads off ``dig``.
 * :mod:`repro.resolver.chain` — CoreDNS-style plugin chain.
+* :mod:`repro.resolver.retry` — retry policies: backoff + jitter,
+  retry budgets, hedged queries (for fault-injection runs).
 """
 
 from repro.resolver.cache import DnsCache, CacheOutcome
@@ -21,6 +23,7 @@ from repro.resolver.recursive import RecursiveResolver
 from repro.resolver.forwarder import ForwardingResolver
 from repro.resolver.stub import StubResolver, DigResult
 from repro.resolver.chain import Plugin, PluginChain, QueryContext
+from repro.resolver.retry import RetryBudget, RetryPolicy
 from repro.resolver.xfr import SecondaryZone
 
 __all__ = [
@@ -35,5 +38,7 @@ __all__ = [
     "Plugin",
     "PluginChain",
     "QueryContext",
+    "RetryBudget",
+    "RetryPolicy",
     "SecondaryZone",
 ]

@@ -24,6 +24,11 @@ from repro.dnswire.types import RecordType
 MAX_TTL = 86400
 #: Floor applied when inserting, so zero-TTL records are still usable once.
 MIN_POSITIVE_TTL = 0
+#: TTL stamped on stale answers (RFC 8767 §5.2 recommends 30 seconds).
+STALE_ANSWER_TTL = 30
+#: How long past expiry an entry stays usable for serve-stale (RFC 8767
+#: suggests one to three days; a conservative hour is the default here).
+DEFAULT_MAX_STALE_TTL = 3600
 
 
 class CacheOutcome(enum.Enum):
@@ -38,19 +43,23 @@ class CacheOutcome(enum.Enum):
 class CacheAnswer:
     """The result of a cache probe."""
 
-    __slots__ = ("outcome", "records")
+    __slots__ = ("outcome", "records", "stale")
 
     def __init__(self, outcome: CacheOutcome,
-                 records: Optional[List[ResourceRecord]] = None) -> None:
+                 records: Optional[List[ResourceRecord]] = None,
+                 stale: bool = False) -> None:
         self.outcome = outcome
         self.records = records or []
+        self.stale = stale
 
     @property
     def is_miss(self) -> bool:
         return self.outcome == CacheOutcome.MISS
 
     def __repr__(self) -> str:
-        return f"CacheAnswer({self.outcome.value}, {len(self.records)} records)"
+        flavor = " stale" if self.stale else ""
+        return (f"CacheAnswer({self.outcome.value},"
+                f" {len(self.records)} records{flavor})")
 
 
 _Key = Tuple[Name, RecordType]
@@ -73,17 +82,30 @@ class _NegativeEntry:
 
 
 class DnsCache:
-    """Bounded LRU cache of RRsets and negative answers."""
+    """Bounded LRU cache of RRsets and negative answers.
 
-    def __init__(self, max_entries: int = 100_000) -> None:
+    With ``serve_stale`` enabled (RFC 8767), expired positive entries are
+    retained for ``max_stale_ttl`` seconds past expiry; :meth:`get` still
+    reports a MISS for them (resolution must be *attempted*), but
+    :meth:`get_stale` serves them when the attempt fails.
+    """
+
+    def __init__(self, max_entries: int = 100_000,
+                 serve_stale: bool = False,
+                 max_stale_ttl: int = DEFAULT_MAX_STALE_TTL) -> None:
         if max_entries <= 0:
             raise ValueError("cache capacity must be positive")
+        if max_stale_ttl < 0:
+            raise ValueError("max_stale_ttl must be >= 0")
         self.max_entries = max_entries
+        self.serve_stale = serve_stale
+        self.max_stale_ttl = max_stale_ttl
         self._positive: "OrderedDict[_Key, _PositiveEntry]" = OrderedDict()
         self._negative: "OrderedDict[_Key, _NegativeEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.negative_hits = 0
+        self.stale_hits = 0
 
     def __len__(self) -> int:
         return len(self._positive) + len(self._negative)
@@ -132,7 +154,8 @@ class DnsCache:
         positive = self._positive.get(key)
         if positive is not None:
             if positive.expires_at <= now:
-                del self._positive[key]
+                if not self._usable_stale(positive, now):
+                    del self._positive[key]
             else:
                 self._positive.move_to_end(key)
                 self.hits += 1
@@ -156,6 +179,39 @@ class DnsCache:
                 return CacheAnswer(CacheOutcome.NEGATIVE_NXDOMAIN)
         self.misses += 1
         return CacheAnswer(CacheOutcome.MISS)
+
+    def get_stale(self, name: Name, rtype: RecordType,
+                  now: float) -> CacheAnswer:
+        """Serve an expired entry after a failed resolution attempt.
+
+        RFC 8767: resolution must have been attempted (and failed) before
+        stale data is used, so callers probe :meth:`get` first, go
+        upstream on MISS, and only fall back here.  Stale records carry
+        :data:`STALE_ANSWER_TTL`; entries older than ``max_stale_ttl``
+        are gone.  A still-fresh entry is served normally.
+        """
+        key = (name, rtype)
+        entry = self._positive.get(key)
+        if entry is None:
+            return CacheAnswer(CacheOutcome.MISS)
+        if entry.expires_at > now:
+            self.hits += 1
+            remaining = int((entry.expires_at - now) / 1000.0)
+            return CacheAnswer(
+                CacheOutcome.HIT,
+                [record.with_ttl(remaining) for record in entry.records])
+        if not self._usable_stale(entry, now):
+            del self._positive[key]
+            return CacheAnswer(CacheOutcome.MISS)
+        self.stale_hits += 1
+        return CacheAnswer(
+            CacheOutcome.HIT,
+            [record.with_ttl(STALE_ANSWER_TTL) for record in entry.records],
+            stale=True)
+
+    def _usable_stale(self, entry: _PositiveEntry, now: float) -> bool:
+        return (self.serve_stale
+                and now < entry.expires_at + self.max_stale_ttl * 1000.0)
 
     def peek_addresses(self, name: Name, now: float) -> List[str]:
         """Cached A-record addresses for ``name`` without counting stats."""

@@ -15,23 +15,34 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.dnswire.message import Message, make_query, make_response
+from repro.dnswire.message import Message, make_query, make_response, mark_stale
 from repro.dnswire.name import Name
 from repro.dnswire.types import Rcode
 from repro.errors import QueryTimeout, WireFormatError
 from repro.netsim.packet import Endpoint
 from repro.resolver.cache import CacheOutcome, DnsCache
+from repro.resolver.retry import RetryPolicy
 from repro.resolver.server import DnsServer
 
 
 class ForwardingResolver(DnsServer):
-    """Caches locally; otherwise forwards to the matching upstream."""
+    """Caches locally; otherwise forwards to the matching upstream.
+
+    A ``retry_policy`` makes each upstream worth several attempts with
+    backed-off timeouts instead of one shot.  When every upstream fails
+    and the cache was built with ``serve_stale``, an expired entry is
+    served (marked with the RFC 8914 stale-answer option) before
+    admitting SERVFAIL — RFC 8767's "stale bread is better than no
+    bread" trade, which §3 of the paper needs for MEC DNS outages.
+    """
 
     def __init__(self, network, host, upstreams: List[Endpoint],
                  stub_domains: Optional[Dict[Name, Endpoint]] = None,
                  cache: Optional[DnsCache] = None,
                  upstream_timeout: float = 2000.0,
-                 forward_ecs: bool = True, **kwargs) -> None:
+                 forward_ecs: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 **kwargs) -> None:
         super().__init__(network, host, **kwargs)
         if not upstreams:
             raise ValueError("forwarding resolver needs at least one upstream")
@@ -40,8 +51,13 @@ class ForwardingResolver(DnsServer):
         self.cache = cache if cache is not None else DnsCache()
         self.upstream_timeout = upstream_timeout
         self.forward_ecs = forward_ecs
+        self.retry_policy = retry_policy
+        self._retry_rng = (network.streams.stream(f"forwarder:{host.name}")
+                          if retry_policy is not None else None)
         self.forwarded = 0
         self.served_from_cache = 0
+        self.upstream_retries = 0
+        self.stale_served = 0
 
     def add_stub_domain(self, domain: Name, upstream: Endpoint) -> None:
         """Route queries under ``domain`` to a dedicated upstream."""
@@ -74,25 +90,43 @@ class ForwardingResolver(DnsServer):
             self.served_from_cache += 1
             return make_response(query, recursion_available=True)
 
+        policy = self.retry_policy
+        attempts_per_upstream = 1 + (policy.retries if policy else 0)
         for upstream in self.upstreams_for(question.name):
-            forwarded = make_query(question.name, question.rtype,
-                                   msg_id=self.allocate_query_id(),
-                                   recursion_desired=True)
-            if self.forward_ecs and query.edns is not None:
-                forwarded.edns = query.edns
-            try:
-                self.forwarded += 1
-                response = yield from self.query_upstream(
-                    forwarded, upstream, self.upstream_timeout)
-            except (QueryTimeout, WireFormatError):
-                continue
-            self._cache_response(question, response)
-            reply = make_response(query, rcode=response.rcode,
-                                  recursion_available=True,
-                                  answers=response.answers,
-                                  authorities=response.authorities,
-                                  additionals=response.additionals)
-            return reply
+            for attempt in range(1, attempts_per_upstream + 1):
+                per_try_timeout = (
+                    policy.timeout_for(attempt, self._retry_rng)
+                    if policy is not None else self.upstream_timeout)
+                forwarded = make_query(question.name, question.rtype,
+                                       msg_id=self.allocate_query_id(),
+                                       recursion_desired=True)
+                if self.forward_ecs and query.edns is not None:
+                    forwarded.edns = query.edns
+                try:
+                    self.forwarded += 1
+                    if attempt > 1:
+                        self.upstream_retries += 1
+                    response = yield from self.query_upstream(
+                        forwarded, upstream, per_try_timeout)
+                except (QueryTimeout, WireFormatError):
+                    continue
+                self._cache_response(question, response)
+                reply = make_response(query, rcode=response.rcode,
+                                      recursion_available=True,
+                                      answers=response.answers,
+                                      authorities=response.authorities,
+                                      additionals=response.additionals)
+                return reply
+        if self.cache.serve_stale:
+            stale = self.cache.get_stale(question.name, question.rtype,
+                                         self.network.sim.now)
+            if stale.outcome == CacheOutcome.HIT:
+                self.stale_served += 1
+                reply = make_response(query, recursion_available=True,
+                                      answers=stale.records)
+                if stale.stale:
+                    mark_stale(reply)
+                return reply
         return make_response(query, rcode=Rcode.SERVFAIL,
                              recursion_available=True)
 

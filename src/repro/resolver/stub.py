@@ -3,6 +3,14 @@
 :class:`DigResult` carries exactly what the paper reads off ``dig``:
 status, the answer section, and the query time in milliseconds.  The
 experiments (Figures 2 and 5) are built from sequences of these results.
+
+Resilience (see :mod:`repro.resolver.retry`): a stub built with a
+:class:`~repro.resolver.retry.RetryPolicy` retries with exponential
+backoff and jitter, respects a shared retry budget, and can hedge the
+first attempt with a second racing query.  SERVFAIL responses are
+retried like transport failures — a resolver that answered "I am
+broken" is no more settled than one that said nothing.  Without a
+policy the stub behaves exactly as it always has.
 """
 
 from __future__ import annotations
@@ -14,10 +22,12 @@ from repro.dnswire.message import Message, ResourceRecord, make_query
 from repro.dnswire.name import Name
 from repro.dnswire.types import Rcode, RecordType
 from repro.errors import QueryTimeout, WireFormatError
+from repro.netsim.engine import ProcessFailed, SimFuture
 from repro.netsim.network import Network
 from repro.netsim.node import Host
 from repro.netsim.packet import Endpoint
 from repro.netsim.socket import UdpSocket
+from repro.resolver.retry import RetryPolicy
 
 
 class DigResult:
@@ -45,9 +55,24 @@ class DigResult:
     def addresses(self) -> List[str]:
         return self.response.answer_addresses()
 
+    @property
+    def stale(self) -> bool:
+        """Whether the answer was served past its TTL (RFC 8767).
+
+        Stale answers carry the RFC 8914 "Stale Answer" extended error
+        option, which is how a real resolver marks them on the wire.
+        """
+        edns = self.response.edns
+        if edns is None:
+            return False
+        ede = edns.extended_error
+        return ede is not None and ede.is_stale_answer
+
     def __repr__(self) -> str:
+        flavor = " (stale)" if self.stale else ""
         return (f"DigResult({self.question_name} {self.rtype.name} -> "
-                f"{self.status} {self.addresses} in {self.query_time_ms:.2f}ms)")
+                f"{self.status} {self.addresses}{flavor} "
+                f"in {self.query_time_ms:.2f}ms)")
 
 
 class StubResolver:
@@ -55,17 +80,21 @@ class StubResolver:
 
     def __init__(self, network: Network, host: Host, server: Endpoint,
                  timeout: float = 3000.0, retries: int = 2,
-                 source_ip: Optional[str] = None) -> None:
+                 source_ip: Optional[str] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
         self.network = network
         self.host = host
         self.server = server
         self.timeout = timeout
         self.retries = retries
         self.source_ip = source_ip
+        self.policy = policy
         self._rng = network.streams.stream(f"stub:{host.name}")
         self.queries_issued = 0
         self.timeouts_seen = 0
         self.tcp_fallbacks = 0
+        self.servfails_seen = 0
+        self.hedges_sent = 0
 
     def query(self, name: Name, rtype: RecordType = RecordType.A,
               server: Optional[Endpoint] = None,
@@ -78,53 +107,134 @@ class StubResolver:
         authority section — IXFR carries the client's current SOA there.
         """
         target = server or self.server
-        per_try_timeout = timeout if timeout is not None else self.timeout
+        policy = self.policy
         started_at = self.network.sim.now
+        max_attempts = (policy.retries if policy is not None
+                        else self.retries) + 1
+        if policy is not None and policy.budget is not None:
+            policy.budget.record_request()
         last_error: Optional[Exception] = None
-        for attempt in range(1, self.retries + 2):
+        last_servfail: Optional[DigResult] = None
+        attempt = 0
+        while attempt < max_attempts:
+            attempt += 1
+            if timeout is not None:
+                per_try_timeout = timeout
+            elif policy is not None:
+                per_try_timeout = policy.timeout_for(attempt, self._rng)
+            else:
+                per_try_timeout = self.timeout
             msg_id = self._rng.randrange(1, 0xFFFF)
-            query = make_query(name, rtype, msg_id=msg_id, edns=edns)
-            if authorities:
-                query.authorities = list(authorities)
-            sock = UdpSocket(self.host, ip=self.source_ip)
-            self.queries_issued += 1
             try:
-                reply = yield sock.request(query.to_wire(), target,
-                                           per_try_timeout)
+                if (policy is not None and policy.hedge_after_ms is not None
+                        and attempt == 1):
+                    response = yield from self._hedged_probe(
+                        name, rtype, edns, authorities, target,
+                        per_try_timeout, msg_id)
+                else:
+                    response = yield from self._probe(
+                        name, rtype, edns, authorities, target,
+                        per_try_timeout, msg_id)
             except QueryTimeout as error:
                 self.timeouts_seen += 1
                 last_error = error
-                continue
-            finally:
-                sock.close()
-            try:
-                response = Message.from_wire(reply.payload)
             except WireFormatError as error:
                 last_error = error
-                continue
-            if response.msg_id != msg_id:
-                last_error = WireFormatError("transaction id mismatch")
-                continue
-            if response.flags.tc:
-                # Truncated: retry the same query over the stream
-                # transport (RFC 7766), like dig's automatic +tcp retry.
-                response = yield from self._retry_over_stream(query, target)
-            return DigResult(
-                question_name=name, rtype=rtype, response=response,
-                query_time_ms=self.network.sim.now - started_at,
-                server=target, attempts=attempt, started_at=started_at)
+            else:
+                result = DigResult(
+                    question_name=name, rtype=rtype, response=response,
+                    query_time_ms=self.network.sim.now - started_at,
+                    server=target, attempts=attempt, started_at=started_at)
+                if response.rcode != Rcode.SERVFAIL:
+                    return result
+                # SERVFAIL is as unsettled as silence: retry while the
+                # policy allows, but keep the response so exhaustion
+                # returns the server's verdict instead of raising.
+                self.servfails_seen += 1
+                last_servfail = result
+                last_error = None
+            if attempt >= max_attempts:
+                break
+            if policy is not None and not policy.may_retry(attempt):
+                break
+        if last_servfail is not None:
+            return last_servfail
         raise last_error if last_error is not None else QueryTimeout(
             f"query for {name} failed")
 
-    def _retry_over_stream(self, query: Message,
-                           target: Endpoint) -> Generator:
+    # -- probes -----------------------------------------------------------------
+
+    def _probe(self, name: Name, rtype: RecordType, edns: Optional[Edns],
+               authorities: Optional[List[ResourceRecord]], target: Endpoint,
+               per_try_timeout: float, msg_id: int) -> Generator:
+        """Process: one query/response round, TCP fallback included."""
+        query = make_query(name, rtype, msg_id=msg_id, edns=edns)
+        if authorities:
+            query.authorities = list(authorities)
+        sock = UdpSocket(self.host, ip=self.source_ip)
+        self.queries_issued += 1
+        try:
+            reply = yield sock.request(query.to_wire(), target,
+                                       per_try_timeout)
+        finally:
+            sock.close()
+        response = Message.from_wire(reply.payload)
+        if response.msg_id != msg_id:
+            raise WireFormatError("transaction id mismatch")
+        if response.flags.tc:
+            # Truncated: retry the same query over the stream
+            # transport (RFC 7766), like dig's automatic +tcp retry.
+            response = yield from self._retry_over_stream(
+                query, target, timeout=per_try_timeout)
+        return response
+
+    def _hedged_probe(self, name: Name, rtype: RecordType,
+                      edns: Optional[Edns],
+                      authorities: Optional[List[ResourceRecord]],
+                      target: Endpoint, per_try_timeout: float,
+                      msg_id: int) -> Generator:
+        """Process: race the probe against a delayed identical hedge."""
+        sim = self.network.sim
+        hedge_msg_id = self._rng.randrange(1, 0xFFFF)
+        primary = sim.spawn(self._probe(
+            name, rtype, edns, authorities, target, per_try_timeout, msg_id))
+        hedge = sim.spawn(self._hedge_after(
+            primary, name, rtype, edns, authorities, target,
+            per_try_timeout, hedge_msg_id))
+        try:
+            response = yield sim.first_success([primary, hedge])
+        except ProcessFailed as error:
+            cause = error.__cause__
+            if isinstance(cause, (QueryTimeout, WireFormatError)):
+                raise cause
+            raise
+        return response
+
+    def _hedge_after(self, primary: SimFuture, name: Name, rtype: RecordType,
+                     edns: Optional[Edns],
+                     authorities: Optional[List[ResourceRecord]],
+                     target: Endpoint, per_try_timeout: float,
+                     msg_id: int) -> Generator:
+        assert self.policy is not None
+        yield self.policy.hedge_after_ms
+        if primary.done and primary.error is None:
+            raise QueryTimeout("hedge not needed; primary already answered")
+        self.hedges_sent += 1
+        response = yield from self._probe(
+            name, rtype, edns, authorities, target, per_try_timeout, msg_id)
+        return response
+
+    def _retry_over_stream(self, query: Message, target: Endpoint,
+                           timeout: Optional[float] = None) -> Generator:
         from repro.netsim.stream import open_channel
         from repro.resolver.server import DNS_TCP_PORT
         self.tcp_fallbacks += 1
         channel = yield from open_channel(
-            self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT))
+            self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT),
+            timeout=timeout)
         try:
-            raw = yield from channel.exchange(query.to_wire())
+            raw = yield from channel.exchange(query.to_wire(),
+                                              timeout=timeout)
         finally:
             channel.close()
         response = Message.from_wire(raw)

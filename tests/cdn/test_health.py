@@ -10,6 +10,7 @@ from repro.cdn import (
     TrafficRouter,
 )
 from repro.dnswire import Name
+from repro.faults import FaultPlan, inject
 from repro.netsim import Constant, Network, RandomStreams, Simulator
 from repro.resolver import StubResolver
 
@@ -106,3 +107,41 @@ class TestHealthMonitor:
         with pytest.raises(ValueError):
             HealthMonitor(scenario.net, scenario.net.host("router"),
                           scenario.caches, failure_threshold=0)
+
+
+class TestHealthUnderHostCrash:
+    """Hysteresis against real crashes (host down, not a polite flag)."""
+
+    def test_crash_detected_after_threshold_then_recovers(self):
+        scenario = HealthScenario(failure_threshold=2)
+        inject(scenario.net,
+               FaultPlan().crash_host("cache-0", 0, duration_ms=450))
+        scenario.monitor.start()
+        # Two probe rounds (interval 100 ms) must fail before the flip.
+        scenario.sim.run(until=300)
+        assert not scenario.monitor.is_healthy(scenario.caches[0])
+        assert scenario.monitor.healthy_count == 2
+        # The host restarts at 450 ms; one good probe restores belief.
+        scenario.sim.run(until=1000)
+        assert scenario.monitor.is_healthy(scenario.caches[0])
+        assert scenario.monitor.transitions == 2
+        scenario.monitor.stop()
+
+    def test_single_lost_probe_does_not_flip_belief(self):
+        scenario = HealthScenario(failure_threshold=2)
+        inject(scenario.net,
+               FaultPlan().crash_host("cache-1", 0, duration_ms=60))
+        scenario.probe_all()  # exactly one probe lands inside the crash
+        assert scenario.monitor.is_healthy(scenario.caches[1])
+        assert scenario.monitor.transitions == 0
+
+    def test_router_routes_around_crashed_host(self):
+        scenario = HealthScenario(failure_threshold=2)
+        crashed_ip = scenario.caches[0].endpoint.ip
+        inject(scenario.net,
+               FaultPlan().crash_host("cache-0", 0, duration_ms=10_000))
+        scenario.probe_all()
+        scenario.probe_all()
+        assert not scenario.monitor.is_healthy(scenario.caches[0])
+        for _ in range(4):
+            assert crashed_ip not in scenario.query().addresses

@@ -76,7 +76,10 @@ class TestCoreDnsEdgeCases:
         coredns.stub.timeout = 50
         result = ask(sim, stub, "x.dead.test")
         assert result.status == "SERVFAIL"
-        assert coredns.stub.forwarded == 1
+        # The client retries SERVFAIL like a transport failure, so the
+        # stub-domain plugin forwards once per client attempt.
+        assert result.attempts == stub.retries + 1
+        assert coredns.stub.forwarded == stub.retries + 1
 
     def test_stub_domain_beats_default_forward(self, world):
         sim, net, coredns, stub = world
