@@ -9,7 +9,7 @@ popularity-skewed request streams CDN evaluations conventionally use.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from repro.dnswire.name import Name
 from repro.errors import ContentNotFound

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Generator, NamedTuple
 
-from repro.errors import CdnError, QueryTimeout
+from repro.errors import CdnError
 from repro.netsim.network import Network
 from repro.netsim.node import Host
 from repro.netsim.packet import Endpoint

@@ -8,7 +8,7 @@ and are notified on hit/admit/evict, so they compose with any store.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Optional
 
 
 class EvictionPolicy:

@@ -179,6 +179,28 @@ class TrafficRouter(DnsServer):
 
         additionals = []
         if cache is None:
+            outcome = ("servfail" if self.next_tier is None
+                       else "next-tier-referral")
+        else:
+            outcome = "routed"
+        tel = self.network.telemetry
+        if tel is not None:
+            # Re-derive the zone for its name only: zone_for is a pure
+            # function of static config, so the extra call cannot
+            # perturb the simulation.
+            zone, _ = self.zone_for(effective_ip)
+            tel.tracer.event(
+                "cdns.route", "cdn", self.host.name,
+                parent=getattr(query, "trace_ctx", None),
+                qname=str(question.name), client_ip=effective_ip,
+                zone=zone.name if zone is not None else "none",
+                cache=cache.name if cache is not None else "none",
+                outcome=outcome, ecs=ecs is not None)
+            tel.metrics.counter(
+                "repro_cdns_decisions_total",
+                "traffic-router routing decisions by outcome").inc(
+                    router=self.name, outcome=outcome)
+        if cache is None:
             if self.next_tier is None:
                 return make_response(query, rcode=Rcode.SERVFAIL,
                                      authoritative=True)

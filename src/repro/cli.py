@@ -93,16 +93,78 @@ def _run_experiment(name: str, args: argparse.Namespace) -> None:
     print(f"shape claims: {'ALL HOLD' if not violations else violations}")
 
 
+def _maybe_install_telemetry(args: argparse.Namespace):
+    """Install ambient telemetry when ``--trace-out``/``--metrics-out`` ask.
+
+    Returns the installed :class:`repro.telemetry.Telemetry`, or ``None``
+    when neither flag was given (the zero-cost default).
+    """
+    if not (args.trace_out or args.metrics_out):
+        return None
+    from repro import telemetry
+    tel = telemetry.Telemetry()
+    telemetry.set_default(tel)
+    return tel
+
+
+def _export_telemetry(tel, args: argparse.Namespace) -> None:
+    """Uninstall ambient telemetry and write the requested artifacts.
+
+    ``--metrics-out`` picks its format by extension: ``.prom``/``.txt``
+    gets the Prometheus text exposition, anything else the JSON artifact.
+    """
+    from repro import telemetry
+    from repro.telemetry import exporters
+    telemetry.clear_default()
+    if args.trace_out:
+        try:
+            exporters.write_chrome_trace(tel.tracer.finished, args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f";; wrote {len(tel.tracer.finished)} spans to "
+                  f"{args.trace_out} (open in about:tracing or Perfetto)",
+                  file=sys.stderr)
+    if args.metrics_out:
+        try:
+            if args.metrics_out.endswith((".prom", ".txt")):
+                exporters.write_prometheus_text(tel.metrics, args.metrics_out)
+            else:
+                exporters.write_json_artifact(tel.metrics, args.metrics_out,
+                                              spans=tel.tracer.finished)
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f";; wrote {len(tel.metrics)} metric instruments to "
+                  f"{args.metrics_out}", file=sys.stderr)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for index, name in enumerate(names):
-        if index:
-            print()
-        _run_experiment(name, args)
+    tel = _maybe_install_telemetry(args)
+    try:
+        names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+        for index, name in enumerate(names):
+            if index:
+                print()
+            _run_experiment(name, args)
+    finally:
+        if tel is not None:
+            _export_telemetry(tel, args)
     return 0
 
 
 def _cmd_dig(args: argparse.Namespace) -> int:
+    tel = _maybe_install_telemetry(args)
+    try:
+        return _run_dig(args)
+    finally:
+        if tel is not None:
+            _export_telemetry(tel, args)
+
+
+def _run_dig(args: argparse.Namespace) -> int:
     testbed = build_testbed(args.deployment, seed=args.seed, ecs=args.ecs)
     if args.name != str(testbed.query_name).rstrip("."):
         print(f"note: the testbed serves {testbed.query_name}; "
@@ -146,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--queries", type=int, default=40,
                      help="queries per bar for figure5/ecs")
     exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace_event JSON of every "
+                          "query's spans (open in about:tracing/Perfetto)")
+    exp.add_argument("--metrics-out", metavar="PATH",
+                     help="write collected metrics (.prom/.txt = "
+                          "Prometheus text, otherwise JSON artifact)")
     exp.set_defaults(handler=_cmd_experiment)
 
     dig = sub.add_parser("dig", help="query a Figure 5 deployment")
@@ -160,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     dig.add_argument("--verbose", action="store_true",
                      help="print one full dig-style response instead of "
                           "the latency series")
+    dig.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace_event JSON of every "
+                          "query's spans (open in about:tracing/Perfetto)")
+    dig.add_argument("--metrics-out", metavar="PATH",
+                     help="write collected metrics (.prom/.txt = "
+                          "Prometheus text, otherwise JSON artifact)")
     dig.set_defaults(handler=_cmd_dig)
 
     dep = sub.add_parser("deployments",

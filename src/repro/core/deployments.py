@@ -64,6 +64,20 @@ DEPLOYMENT_LABELS: Dict[str, str] = {
 CDN_DOMAIN = Name("mycdn.ciab.test")
 QUERY_NAME = Name("video.demo1.mycdn.ciab.test")
 
+
+def _attach_ambient_telemetry(network: Network) -> None:
+    """Wire the ambient telemetry (if any) into a freshly built network.
+
+    ``repro.cli --trace-out/--metrics-out`` installs a default facade;
+    experiments build testbeds through here, so the whole stack reports
+    without every builder growing a telemetry parameter.  A no-op when
+    no default is installed.
+    """
+    from repro import telemetry
+    tel = telemetry.get_default()
+    if tel is not None:
+        tel.attach(network)
+
 #: srsLTE testbed radio profile: ~5 ms one-way UE->eNB with a moderate
 #: tail, so the full UE<->P-GW wireless round trip is ~10 ms, matching
 #: the paper's "approx. 10 ms" wireless component.
@@ -150,6 +164,7 @@ def build_testbed(deployment: str, seed: int = 0, ecs: bool = False,
                          f"expected one of {DEPLOYMENT_KEYS}")
     sim = Simulator()
     network = Network(sim, RandomStreams(seed))
+    _attach_ambient_telemetry(network)
 
     # Mobile access: UE == eNB -- S-GW -- P-GW.
     epc = EvolvedPacketCore(
@@ -356,6 +371,7 @@ def build_custom_cdns_testbed(cdns_one_way_ms: float, seed: int = 0,
         raise ValueError("C-DNS distance cannot be negative")
     sim = Simulator()
     network = Network(sim, RandomStreams(seed))
+    _attach_ambient_telemetry(network)
     epc = EvolvedPacketCore(
         network, "lte", profile,
         sgw_ip="10.40.0.2", pgw_ip="10.40.0.1",

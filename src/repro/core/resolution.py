@@ -62,7 +62,7 @@ class EdgeAwareClient:
         self.referrals_followed = 0
 
     def resolve(self, name: Name,
-                rtype: RecordType = RecordType.A) -> Generator:
+                rtype: RecordType = RecordType.A, ctx=None) -> Generator:
         """Process returning a :class:`TieredResolution`.
 
         Raises :class:`~repro.errors.ResolutionError` if the referral
@@ -71,14 +71,37 @@ class EdgeAwareClient:
         """
         started = self.network.sim.now
         self.resolutions += 1
+        tel = self.network.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.begin("resolution.tiered", "resolver",
+                                    self.host.name, parent=ctx,
+                                    qname=str(name), rtype=rtype.name)
+            if span is not None:
+                ctx = span.context
         servers: List[Endpoint] = []
         target: Optional[Endpoint] = None  # None = use the default L-DNS
         referrals = 0
         while True:
-            result = yield from self.stub.query(name, rtype, server=target)
+            try:
+                result = yield from self.stub.query(name, rtype,
+                                                    server=target, ctx=ctx)
+            except Exception as error:
+                if tel is not None:
+                    tel.tracer.end(span, status="FAILED",
+                                   error=type(error).__name__,
+                                   referrals=referrals)
+                raise
             servers.append(result.server)
             if result.status != "NOERROR" or not result.addresses \
                     or not is_referral(result.response):
+                if tel is not None:
+                    tel.tracer.end(span, status=result.status,
+                                   referrals=referrals)
+                    tel.metrics.counter(
+                        "repro_tiered_resolutions_total",
+                        "tier-aware resolutions by depth").inc(
+                            client=self.host.name, referrals=referrals)
                 return TieredResolution(
                     name=name, addresses=result.addresses,
                     status=result.status, servers_queried=servers,
@@ -87,6 +110,9 @@ class EdgeAwareClient:
             referrals += 1
             self.referrals_followed += 1
             if referrals > self.max_referrals:
+                if tel is not None:
+                    tel.tracer.end(span, status="REFERRAL-LOOP",
+                                   referrals=referrals)
                 raise ResolutionError(
                     f"C-DNS referral chain for {name} exceeded "
                     f"{self.max_referrals} hops: {servers}")

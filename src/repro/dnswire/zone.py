@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dnswire.name import Name, derelativize
 from repro.dnswire.message import ResourceRecord
-from repro.dnswire.rdata import CNAME, NS, SOA, rdata_class_for
+from repro.dnswire.rdata import CNAME, rdata_class_for
 from repro.dnswire.types import RecordClass, RecordType
 from repro.errors import ZoneError
 

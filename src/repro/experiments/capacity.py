@@ -88,6 +88,8 @@ def run(rates: Sequence[float] = DEFAULT_RATES,
     for rate in rates:
         sim = Simulator()
         net = Network(sim, RandomStreams(seed))
+        from repro.core.deployments import _attach_ambient_telemetry
+        _attach_ambient_telemetry(net)
         net.add_host("mec-dns", "10.96.0.10")
         net.add_host("clients", "10.45.0.2")
         net.add_link("clients", "mec-dns", Constant(1))

@@ -19,7 +19,7 @@ answer stability, and the aggregate hit ratio drops measurably.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.cdn.cache_server import CacheServer
 from repro.cdn.content import ContentCatalog, ZipfWorkload

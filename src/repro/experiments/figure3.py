@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, NamedTuple
 
-from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES, DomainDeployment
+from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES
 from repro.experiments.public_internet import PublicInternetScenario
 from repro.experiments.report import format_bar, format_table
 

@@ -95,6 +95,8 @@ class OverloadResult(NamedTuple):
 def _run_policy(policy: str, attack_qps: float, seed: int) -> OverloadRow:
     sim = Simulator()
     net = Network(sim, RandomStreams(seed))
+    from repro.core.deployments import _attach_ambient_telemetry
+    _attach_ambient_telemetry(net)
     net.add_host("mec-dns", "10.96.0.10")
     net.add_host("provider", "203.0.113.10")
     net.add_host("attacker", "10.45.0.66")

@@ -24,11 +24,10 @@ from typing import Dict, Generator, List
 
 from repro.cdn.broker import BrokeredCdnAuthority, CdnBroker
 from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES, DomainDeployment
-from repro.dnswire.name import Name
 from repro.mobile.core import EvolvedPacketCore
 from repro.mobile.profiles import CELLULAR_LTE, WIFI_HOME, WIRED_CAMPUS
 from repro.netsim.engine import Simulator
-from repro.netsim.latency import Constant, lognormal_from_median_p95
+from repro.netsim.latency import lognormal_from_median_p95
 from repro.netsim.network import Network
 from repro.netsim.packet import Endpoint
 from repro.netsim.rand import RandomStreams
@@ -57,6 +56,8 @@ class PublicInternetScenario:
     def __init__(self, seed: int = 0) -> None:
         self.sim = Simulator()
         self.network = Network(self.sim, RandomStreams(seed))
+        from repro.core.deployments import _attach_ambient_telemetry
+        _attach_ambient_telemetry(self.network)
         streams = self.network.streams
 
         # The consolidated CDN routing plane.
@@ -119,7 +120,7 @@ class PublicInternetScenario:
             net, "carrier", CELLULAR_LTE,
             sgw_ip="10.140.0.2", pgw_ip="10.140.0.1",
             public_ips=["198.51.100.9"])
-        cell = epc.add_base_station("hotspot-enb", "10.140.1.1")
+        epc.add_base_station("hotspot-enb", "10.140.1.1")
         # The hotspot phone and the laptop behind it collapse into one UE
         # host; the paper tethered through a phone hotspot.
         net.add_host("client-cell", "10.145.0.2")

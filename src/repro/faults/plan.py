@@ -198,6 +198,13 @@ class FaultInjector:
         self.events_fired += 1
         self.timeline.append(
             f"t={self.network.sim.now:.3f} {event.describe()}")
+        tel = self.network.telemetry
+        if tel is not None:
+            tel.metrics.counter("repro_faults_fired_total",
+                                "fault-plan events applied").inc(
+                                    kind=event.kind)
+            tel.tracer.event("fault", "faults", "fault-injector",
+                             kind=event.kind, detail=event.describe())
 
     def _apply_host_down(self, event: FaultEvent) -> None:
         self.network.host(event.params["host"]).down = True

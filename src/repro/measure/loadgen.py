@@ -9,7 +9,7 @@ distribution — the inputs for a hockey-stick capacity curve.
 
 from __future__ import annotations
 
-from typing import Generator, List, NamedTuple, Optional
+from typing import Generator, List, NamedTuple
 
 from repro.dnswire.message import Message, make_query
 from repro.dnswire.name import Name
@@ -45,7 +45,8 @@ class LoadResult(NamedTuple):
         return (f"offered={self.offered_qps:.0f}qps "
                 f"goodput={self.goodput_qps:.0f}qps "
                 f"loss={100 * self.loss_rate:.1f}% "
-                f"p50={self.p50_ms:.1f}ms p95={self.p95_ms:.1f}ms")
+                f"p50={self.p50_ms:.1f}ms p95={self.p95_ms:.1f}ms "
+                f"p99={self.p99_ms:.1f}ms")
 
 
 class LoadGenerator:
@@ -89,12 +90,23 @@ class LoadGenerator:
                 return
             if response.msg_id == msg_id:
                 latencies.append(sim.now - started)
+                tel = self.network.telemetry
+                if tel is not None:
+                    tel.metrics.histogram(
+                        "repro_loadgen_latency_ms",
+                        "answered load-generator query latency").observe(
+                            sim.now - started)
 
         elapsed = 0.0
         msg_id = 0
+        tel = self.network.telemetry
         while elapsed < duration_ms:
             msg_id = (msg_id + 1) & 0xFFFF or 1
             pending["sent"] += 1
+            if tel is not None:
+                tel.metrics.counter(
+                    "repro_loadgen_sent_total",
+                    "load-generator queries injected").inc()
             sim.spawn(one_query(msg_id))
             yield gap_ms
             elapsed += gap_ms

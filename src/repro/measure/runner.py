@@ -35,6 +35,7 @@ class QueryMeasurement(NamedTuple):
     started_at: float
     attempts: int = 1       # client transmissions this lookup took
     stale: bool = False     # answer served past its TTL (RFC 8767)
+    trace_id: Optional[int] = None  # telemetry trace, when observed
 
 
 class RetryStats(NamedTuple):
@@ -95,14 +96,25 @@ def measure_deployment_run(testbed: Testbed, count: int,
     measurements: List[QueryMeasurement] = []
     failed = {"queries": 0}
 
+    tel = testbed.network.telemetry
+
     def driver() -> Generator:
         for index in range(warmup + count):
             trace.clear()
             started = sim.now
+            span = None
+            if tel is not None:
+                span = tel.tracer.begin(
+                    "lookup", "measure", "measure-driver",
+                    qname=str(testbed.query_name), warmup=index < warmup)
             try:
-                result = yield from stub.query(testbed.query_name)
+                result = yield from stub.query(
+                    testbed.query_name,
+                    ctx=span.context if span is not None else None)
             except Exception:  # noqa: BLE001 - timeouts are data here
                 failed["queries"] += 1
+                if tel is not None:
+                    tel.tracer.end(span, status="TIMEOUT")
                 if index >= warmup:
                     measurements.append(QueryMeasurement(
                         latency_ms=sim.now - started,
@@ -112,10 +124,19 @@ def measure_deployment_run(testbed: Testbed, count: int,
                         status="TIMEOUT",
                         started_at=started,
                         attempts=(stub.retries if stub.policy is None
-                                  else stub.policy.retries) + 1))
+                                  else stub.policy.retries) + 1,
+                        trace_id=(span.trace_id if span is not None
+                                  else None)))
                 yield spacing_ms
                 continue
             finished = sim.now
+            if tel is not None:
+                tel.tracer.end(span, status=result.status)
+                if index >= warmup:
+                    tel.metrics.histogram(
+                        "repro_lookup_latency_ms",
+                        "measured DNS lookup latency").observe(
+                            finished - started)
             if index >= warmup:
                 wireless = _wireless_portion(trace, started, finished)
                 total = result.query_time_ms
@@ -127,7 +148,9 @@ def measure_deployment_run(testbed: Testbed, count: int,
                     status=result.status,
                     started_at=started,
                     attempts=result.attempts,
-                    stale=result.stale))
+                    stale=result.stale,
+                    trace_id=(span.trace_id if span is not None
+                              else None)))
             yield spacing_ms
 
     sim.run_until_resolved(sim.spawn(driver()))

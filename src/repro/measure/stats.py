@@ -53,11 +53,13 @@ class SummaryStats(NamedTuple):
     median: float
     p95: float
     stdev: float
+    p99: float = 0.0     # untrimmed tail, like p95
 
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.1f}ms "
                 f"[{self.minimum:.1f}..{self.maximum:.1f}] "
-                f"p50={self.median:.1f} p95={self.p95:.1f}")
+                f"p50={self.median:.1f} p95={self.p95:.1f} "
+                f"p99={self.p99:.1f}")
 
 
 def summarize(values: Sequence[float], trim: bool = True,
@@ -79,4 +81,5 @@ def summarize(values: Sequence[float], trim: bool = True,
         median=percentile(central, 50),
         p95=percentile(list(values), 95),
         stdev=math.sqrt(variance),
+        p99=percentile(list(values), 99),
     )

@@ -8,7 +8,7 @@ backend (the availability property §4 leans on).
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 from repro.errors import CapacityError
 from repro.mec.cluster import Orchestrator, Pod, Service

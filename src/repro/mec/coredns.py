@@ -62,6 +62,15 @@ class CachePlugin(Plugin):
         assert self._owner is not None, "plugin not bound to a server"
         now = self._owner.network.sim.now
         cached = self.cache.get(ctx.qname, ctx.rtype, now)
+        tel = ctx.telemetry
+        if tel is not None:
+            tel.tracer.event("coredns.cache-lookup", "mec", ctx.track,
+                             parent=ctx.trace, outcome=cached.outcome.name,
+                             qname=str(ctx.qname))
+            tel.metrics.counter("repro_coredns_cache_lookups_total",
+                                "CoreDNS cache plugin probes by "
+                                "outcome").inc(server=self._owner.name,
+                                               outcome=cached.outcome.name)
         if cached.outcome == CacheOutcome.HIT:
             return make_response(ctx.query, recursion_available=True,
                                  answers=cached.records)
@@ -75,6 +84,13 @@ class CachePlugin(Plugin):
                                          self._owner.network.sim.now)
             if stale.outcome == CacheOutcome.HIT:
                 self.stale_served += 1
+                if tel is not None:
+                    tel.tracer.event("coredns.serve-stale", "mec", ctx.track,
+                                     parent=ctx.trace, qname=str(ctx.qname))
+                    tel.metrics.counter(
+                        "repro_coredns_stale_served_total",
+                        "RFC 8767 stale answers served by the cache "
+                        "plugin").inc(server=self._owner.name)
                 reply = make_response(ctx.query, recursion_available=True,
                                       answers=stale.records)
                 if stale.stale:
@@ -154,8 +170,13 @@ class _ForwardingPluginBase(Plugin):
                 self.forwarded += 1
                 if attempt > 1:
                     self.upstream_retries += 1
+                    if ctx.telemetry is not None:
+                        ctx.telemetry.metrics.counter(
+                            "repro_coredns_upstream_retries_total",
+                            "plugin re-attempts against an upstream").inc(
+                                server=self._owner.name)
                 response = yield from self._owner.query_upstream(
-                    query, upstream, per_try_timeout)
+                    query, upstream, per_try_timeout, ctx=ctx.trace)
             except (QueryTimeout, WireFormatError):
                 continue
             reply = make_response(ctx.query, rcode=response.rcode,
@@ -278,5 +299,10 @@ class CoreDnsServer(DnsServer):
             else:
                 query.edns.options.append(ecs)
         ctx = QueryContext(query, client)
+        tel = self.network.telemetry
+        if tel is not None:
+            ctx.telemetry = tel
+            ctx.trace = getattr(query, "trace_ctx", None)
+            ctx.track = self.host.name
         response = yield from self.chain.run(ctx)
         return response

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import ipaddress
-from typing import Generator, List, Optional, Set
+from typing import Generator, List, Set
 
 from repro.dnswire.message import make_response
 from repro.dnswire.name import Name

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.dnswire.message import Message, Question, ResourceRecord
+from repro.dnswire.message import Question, ResourceRecord
 from repro.dnswire.name import Name
 from repro.dnswire.types import RecordType
 from repro.resolver.chain import Plugin, QueryContext

@@ -12,7 +12,7 @@ client, which :mod:`repro.cdn.geo` models on the CDN side.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.errors import AddressError
 from repro.netsim.node import Host, Middlebox

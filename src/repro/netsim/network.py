@@ -41,6 +41,11 @@ class Network:
         self._ip_index: Dict[str, Host] = {}
         self._taps: List[Tap] = []
         self._paths: Optional[Dict[str, Dict[str, List[str]]]] = None
+        #: Attached :class:`repro.telemetry.Telemetry`, or ``None``.
+        #: Every instrumentation site in the stack checks this before
+        #: doing any work, so an unobserved network runs the exact same
+        #: instruction stream as before the subsystem existed.
+        self.telemetry = None
         #: Active partitions: (group_a, group_b) pairs of host-name sets.
         #: ``group_b is None`` means "everything not in group_a".  Empty
         #: when no fault plan is active, so the per-packet check is one
@@ -208,6 +213,12 @@ class Network:
         rewrites, and schedules the delivery callback at the accumulated
         time.  Loss anywhere silently drops the packet.
         """
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_net_datagrams_total",
+                "datagrams injected into the network").inc(
+                    protocol=datagram.protocol)
         self._emit("send", from_host.name, datagram)
         self._walk(datagram, from_host, elapsed=0.0, reroutes=0)
 
@@ -219,26 +230,49 @@ class Network:
         try:
             dst_host = self.host_for_ip(datagram.dst.ip)
         except AddressError:
+            self._count_drop("unroutable")
             self._schedule_tap("drop", at.name, datagram, elapsed)
             return
         if self._partitions and self.is_partitioned(at.name, dst_host.name):
+            self._count_drop("partition")
             self._schedule_tap("drop", at.name, datagram, elapsed)
             return
         hops = self.path(at.name, dst_host.name)
         rng = self.streams.stream("link-delays")
         current = datagram
+        # The walk runs synchronously at send time, so ``sim.now`` here is
+        # the injection instant; hop span endpoints are ``send_now +
+        # elapsed``, the same float expression the tap callbacks observe
+        # as ``sim.now`` when they fire.
+        tracer = None
+        ctx = datagram.trace_ctx
+        if self.telemetry is not None and ctx is not None:
+            tracer = self.telemetry.tracer
+        send_now = self.sim.now
         for previous, nxt in zip(hops, hops[1:]):
             link = self.link_between(previous, nxt)
+            hop_start = elapsed
             delay = link.sample_delay(previous, rng, current.size)
             if delay is None:
+                self._count_drop("loss")
                 self._schedule_tap("drop", nxt, current, elapsed)
                 return
             elapsed += delay
             current.hops.append(nxt)
+            if tracer is not None:
+                tracer.add(
+                    "transit", "net", track=nxt, parent=ctx,
+                    start_ms=send_now + hop_start,
+                    end_ms=send_now + elapsed,
+                    link=link.name or f"{previous}~{nxt}",
+                    protocol=current.protocol, size=current.size,
+                    final=nxt == hops[-1],
+                    **{"from": previous, "to": nxt})
             arrived_at = self._hosts[nxt]
             if arrived_at.middlebox is not None and nxt != hops[-1]:
                 processed = arrived_at.middlebox.process(current, arrived_at)
                 if processed is None:
+                    self._count_drop("middlebox")
                     self._schedule_tap("drop", nxt, current, elapsed)
                     return
                 self._schedule_tap("forward", nxt, processed, elapsed)
@@ -252,6 +286,7 @@ class Network:
         if final_host.middlebox is not None:
             processed = final_host.middlebox.process(current, final_host)
             if processed is None:
+                self._count_drop("middlebox")
                 self._schedule_tap("drop", final_host.name, current, elapsed)
                 return
             if not final_host.owns(processed.dst.ip):
@@ -263,14 +298,26 @@ class Network:
                             lambda: self._deliver(final_host, current))
 
     def _deliver(self, host: Host, datagram: Datagram) -> None:
+        tel = self.telemetry
         if host.down:
+            self._count_drop("host-down")
             self._emit("drop", host.name, datagram)
             return
         self._emit("deliver", host.name, datagram)
         sock = host.socket_on_port(datagram.dst.port)
         if sock is None:
+            self._count_drop("no-socket")
             self._emit("drop", host.name, datagram)
             return
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_net_delivered_total",
+                "datagrams handed to a bound socket").inc(
+                    protocol=datagram.protocol)
+            if datagram.trace_ctx is not None:
+                tel.tracer.event("deliver", "net", track=host.name,
+                                 parent=datagram.trace_ctx,
+                                 dst=str(datagram.dst))
         sock.handle_delivery(datagram)
 
     # -- taps ------------------------------------------------------------------------------------
@@ -285,3 +332,10 @@ class Network:
     def _emit(self, event: str, host_name: str, datagram: Datagram) -> None:
         for tap in self._taps:
             tap(self.sim.now, host_name, event, datagram)
+
+    def _count_drop(self, reason: str) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_net_drops_total",
+                "datagrams dropped in transit").inc(reason=reason)

@@ -23,7 +23,7 @@ class Endpoint(NamedTuple):
 class Datagram:
     """One UDP-style datagram in flight."""
 
-    __slots__ = ("src", "dst", "payload", "protocol", "hops")
+    __slots__ = ("src", "dst", "payload", "protocol", "hops", "trace_ctx")
 
     def __init__(self, src: Endpoint, dst: Endpoint, payload: bytes,
                  protocol: str = "udp") -> None:
@@ -33,6 +33,10 @@ class Datagram:
         self.protocol = protocol
         #: Host names traversed so far (filled in by the network walk).
         self.hops: list = []
+        #: Out-of-band telemetry context riding alongside the payload.
+        #: Never serialized — trace propagation must not change wire
+        #: sizes or any simulated behaviour.
+        self.trace_ctx = None
 
     @property
     def size(self) -> int:
@@ -44,6 +48,7 @@ class Datagram:
         clone = Datagram(src or self.src, dst or self.dst, self.payload,
                          self.protocol)
         clone.hops = list(self.hops)
+        clone.trace_ctx = self.trace_ctx
         return clone
 
     def __repr__(self) -> str:

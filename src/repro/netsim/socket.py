@@ -35,6 +35,10 @@ class UdpSocket:
         self.closed = False
         self.on_datagram: Optional[DatagramHandler] = None
         self._pending_request: Optional[SimFuture] = None
+        #: Trace context of the most recently dispatched datagram, read
+        #: synchronously by server handlers inside ``on_datagram`` to
+        #: join the sender's trace.
+        self.last_delivery_ctx = None
         host.register_socket(self)
 
     @property
@@ -43,16 +47,22 @@ class UdpSocket:
 
     # -- sending --------------------------------------------------------------
 
-    def send_to(self, payload: bytes, dst: Endpoint) -> None:
-        """Send ``payload`` to ``dst`` (fire and forget)."""
+    def send_to(self, payload: bytes, dst: Endpoint, ctx=None) -> None:
+        """Send ``payload`` to ``dst`` (fire and forget).
+
+        ``ctx`` optionally attaches a telemetry trace context that rides
+        the datagram out-of-band (it never touches the wire bytes).
+        """
         if self.closed:
             raise SocketError("send on closed socket")
         datagram = Datagram(self.endpoint, dst, payload)
+        if ctx is not None:
+            datagram.trace_ctx = ctx
         assert self.host.network is not None
         self.host.network.send(datagram, self.host)
 
     def request(self, payload: bytes, dst: Endpoint,
-                timeout: float) -> SimFuture:
+                timeout: float, ctx=None) -> SimFuture:
         """Send and await the first datagram delivered back to this socket.
 
         The returned future resolves to the reply :class:`Datagram` or
@@ -72,7 +82,7 @@ class UdpSocket:
                 f"no reply from {dst} within {timeout}ms"))
 
         sim.call_after(timeout, on_timeout)
-        self.send_to(payload, dst)
+        self.send_to(payload, dst, ctx=ctx)
         return future
 
     # -- receiving ----------------------------------------------------------------
@@ -81,6 +91,7 @@ class UdpSocket:
         """Network-side entry point: dispatch one arriving datagram."""
         if self.closed:
             return
+        self.last_delivery_ctx = datagram.trace_ctx
         pending = self._pending_request
         if pending is not None and not pending.done:
             self._pending_request = None

@@ -27,6 +27,12 @@ class QueryContext:
         #: Free-form annotations plugins leave for each other
         #: (e.g. the namespace view selected for this client).
         self.metadata: Dict[str, Any] = {}
+        #: Telemetry facade, current trace parent, and display track
+        #: (host name); set by the server that built the context, all
+        #: ignored when telemetry is off.
+        self.telemetry = None
+        self.trace = None
+        self.track = "?"
 
     @property
     def qname(self):
@@ -73,13 +79,33 @@ class PluginChain:
                         inner_ctx.query, rcode=Rcode.REFUSED)
                     return inner_ctx.response
                 plugin = self.plugins[index]
-                result = plugin.handle(inner_ctx, make_continuation(index + 1))
-                if inspect.isgenerator(result):
-                    response = yield from result
-                else:
-                    response = result
-                if response is not None:
-                    inner_ctx.response = response
+                tel = inner_ctx.telemetry
+                span = None
+                outer_trace = inner_ctx.trace
+                if tel is not None:
+                    span = tel.tracer.begin(
+                        f"plugin.{plugin.name}", "mec", inner_ctx.track,
+                        parent=outer_trace, qname=str(inner_ctx.qname))
+                    if span is not None:
+                        # Spans begun by this plugin (and deeper chain
+                        # links) nest under it; each query owns its
+                        # context, so the save/restore cannot race.
+                        inner_ctx.trace = span.context
+                try:
+                    result = plugin.handle(inner_ctx,
+                                           make_continuation(index + 1))
+                    if inspect.isgenerator(result):
+                        response = yield from result
+                    else:
+                        response = result
+                    if response is not None:
+                        inner_ctx.response = response
+                finally:
+                    if span is not None:
+                        inner_ctx.trace = outer_trace
+                        tel.tracer.end(
+                            span,
+                            answered=inner_ctx.response is not None)
                 return inner_ctx.response
             return continuation
 

@@ -77,7 +77,17 @@ class ForwardingResolver(DnsServer):
     def handle_query(self, query: Message, client: Endpoint) -> Generator:
         question = query.question
         now = self.network.sim.now
+        tel = self.network.telemetry
+        ctx = getattr(query, "trace_ctx", None)
         cached = self.cache.get(question.name, question.rtype, now)
+        if tel is not None:
+            tel.tracer.event("ldns.cache-lookup", "resolver", self.host.name,
+                             parent=ctx, outcome=cached.outcome.name,
+                             qname=str(question.name))
+            tel.metrics.counter("repro_ldns_cache_lookups_total",
+                                "L-DNS cache probes by outcome").inc(
+                                    server=self.name,
+                                    outcome=cached.outcome.name)
         if cached.outcome == CacheOutcome.HIT:
             self.served_from_cache += 1
             return make_response(query, recursion_available=True,
@@ -106,8 +116,13 @@ class ForwardingResolver(DnsServer):
                     self.forwarded += 1
                     if attempt > 1:
                         self.upstream_retries += 1
+                        if tel is not None:
+                            tel.metrics.counter(
+                                "repro_ldns_upstream_retries_total",
+                                "forwarder re-attempts against an "
+                                "upstream").inc(server=self.name)
                     response = yield from self.query_upstream(
-                        forwarded, upstream, per_try_timeout)
+                        forwarded, upstream, per_try_timeout, ctx=ctx)
                 except (QueryTimeout, WireFormatError):
                     continue
                 self._cache_response(question, response)
@@ -122,6 +137,14 @@ class ForwardingResolver(DnsServer):
                                          self.network.sim.now)
             if stale.outcome == CacheOutcome.HIT:
                 self.stale_served += 1
+                if tel is not None:
+                    tel.tracer.event("ldns.serve-stale", "resolver",
+                                     self.host.name, parent=ctx,
+                                     qname=str(question.name))
+                    tel.metrics.counter(
+                        "repro_ldns_stale_served_total",
+                        "RFC 8767 stale answers served").inc(
+                            server=self.name)
                 reply = make_response(query, recursion_available=True,
                                       answers=stale.records)
                 if stale.stale:

@@ -91,11 +91,19 @@ class DnsServer:
     def _on_datagram(self, payload: bytes, client: Endpoint,
                      sock: UdpSocket) -> None:
         self.queries_received += 1
+        tel = self.network.telemetry
+        if tel is not None:
+            tel.metrics.counter("repro_dns_queries_total",
+                                "queries received by DNS servers").inc(
+                                    server=self.name)
         try:
             query = Message.from_wire(payload)
         except WireFormatError:
             self._send_error_for_garbage(payload, client)
             return
+        # Join the client's trace: the context rode the datagram
+        # out-of-band, and the decoded Message carries it onward.
+        query.trace_ctx = sock.last_delivery_ctx
         if query.opcode != Opcode.QUERY or not query.questions:
             response = make_response(query, rcode=Rcode.NOTIMP)
             self._send(response, client)
@@ -110,6 +118,12 @@ class DnsServer:
             return
         if len(self._backlog) >= self.max_queue:
             self.queries_dropped += 1
+            tel = self.network.telemetry
+            if tel is not None:
+                tel.metrics.counter(
+                    "repro_dns_queries_shed_total",
+                    "queries dropped by overloaded servers").inc(
+                        server=self.name)
             return
         self._backlog.append((query, client))
         self.peak_backlog = max(self.peak_backlog, len(self._backlog))
@@ -127,10 +141,25 @@ class DnsServer:
                     self._serve_and_release(next_query, next_client))
 
     def _serve(self, query: Message, client: Endpoint) -> Generator:
+        tel = self.network.telemetry
+        span = None
+        if tel is not None:
+            qname = str(query.questions[0].name) if query.questions else "?"
+            span = tel.tracer.begin("dns.serve", "resolver", self.host.name,
+                                    parent=getattr(query, "trace_ctx", None),
+                                    server=self.name, qname=qname)
+            if span is not None:
+                # Children spawned by the handler (plugin chain, upstream
+                # exchanges, the reply datagram) nest under the serve span.
+                query.trace_ctx = span.context
         yield self.processing_delay.sample(self._rng)
         response = yield from self._produce_response(query, client)
         if response is not None:
             self._send(response, client, query)
+        if tel is not None:
+            tel.tracer.end(span, rcode=(response.rcode.name
+                                        if response is not None
+                                        else "NO-RESPONSE"))
 
     def _produce_response(self, query: Message,
                           client: Endpoint) -> Generator:
@@ -175,7 +204,8 @@ class DnsServer:
             truncated.flags.tc = True
             wire = truncated.to_wire()
             self.truncated_sent += 1
-        self.sock.send_to(wire, client)
+        ctx = getattr(query, "trace_ctx", None) if query is not None else None
+        self.sock.send_to(wire, client, ctx=ctx)
 
     def _send_error_for_garbage(self, payload: bytes, client: Endpoint) -> None:
         """Best effort FORMERR: echo the query id if two octets exist."""
@@ -189,7 +219,7 @@ class DnsServer:
     # -- upstream helper ----------------------------------------------------------
 
     def query_upstream(self, query: Message, server: Endpoint,
-                       timeout: float) -> Generator:
+                       timeout: float, ctx=None) -> Generator:
         """Process: send ``query`` to ``server``; return the parsed response.
 
         Opens a fresh ephemeral socket per attempt (matching stub resolver
@@ -197,12 +227,27 @@ class DnsServer:
         Raises :class:`~repro.errors.QueryTimeout` on timeout and
         :class:`~repro.errors.WireFormatError` on an undecodable reply.
         """
+        tel = self.network.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.begin("upstream.exchange", "resolver",
+                                    self.host.name, parent=ctx,
+                                    server=self.name, upstream=str(server))
         sock = UdpSocket(self.host, ip=self.sock.ip)
         try:
-            reply = yield sock.request(query.to_wire(), server, timeout)
+            reply = yield sock.request(
+                query.to_wire(), server, timeout,
+                ctx=span.context if span is not None else ctx)
+        except Exception as error:
+            if tel is not None:
+                tel.tracer.end(span, outcome=type(error).__name__)
+            raise
         finally:
             sock.close()
-        return Message.from_wire(reply.payload)
+        response = Message.from_wire(reply.payload)
+        if tel is not None:
+            tel.tracer.end(span, outcome=response.rcode.name)
+        return response
 
     def allocate_query_id(self) -> int:
         """A fresh message id for an upstream query."""

@@ -96,17 +96,55 @@ class StubResolver:
         self.servfails_seen = 0
         self.hedges_sent = 0
 
+    def _count(self, metric: str, help: str) -> None:
+        tel = self.network.telemetry
+        if tel is not None:
+            tel.metrics.counter(metric, help).inc(client=self.host.name)
+
     def query(self, name: Name, rtype: RecordType = RecordType.A,
               server: Optional[Endpoint] = None,
               edns: Optional[Edns] = None,
               timeout: Optional[float] = None,
-              authorities: Optional[List["ResourceRecord"]] = None) -> Generator:
+              authorities: Optional[List["ResourceRecord"]] = None,
+              ctx=None) -> Generator:
         """Process returning a :class:`DigResult` (raises QueryTimeout).
 
         ``authorities`` lets callers put records in the request's
         authority section — IXFR carries the client's current SOA there.
+        ``ctx`` optionally joins an existing telemetry trace; with no
+        telemetry attached the lookup runs exactly as it always has.
         """
         target = server or self.server
+        tel = self.network.telemetry
+        if tel is None:
+            result = yield from self._query_impl(name, rtype, target, edns,
+                                                 timeout, authorities, None)
+            return result
+        span = tel.tracer.begin("stub.query", "resolver", self.host.name,
+                                parent=ctx, qname=str(name),
+                                rtype=rtype.name, server=str(target))
+        tel.metrics.counter("repro_stub_lookups_total",
+                            "client lookups started").inc(
+                                client=self.host.name)
+        try:
+            result = yield from self._query_impl(
+                name, rtype, target, edns, timeout, authorities,
+                span.context if span is not None else ctx)
+        except Exception as error:
+            tel.metrics.counter("repro_stub_failures_total",
+                                "lookups that exhausted every retry").inc(
+                                    kind=type(error).__name__)
+            tel.tracer.end(span, status="FAILED",
+                           error=type(error).__name__)
+            raise
+        tel.tracer.end(span, status=result.status,
+                       attempts=result.attempts, stale=result.stale)
+        return result
+
+    def _query_impl(self, name: Name, rtype: RecordType, target: Endpoint,
+                    edns: Optional[Edns], timeout: Optional[float],
+                    authorities: Optional[List["ResourceRecord"]],
+                    ctx) -> Generator:
         policy = self.policy
         started_at = self.network.sim.now
         max_attempts = (policy.retries if policy is not None
@@ -130,13 +168,15 @@ class StubResolver:
                         and attempt == 1):
                     response = yield from self._hedged_probe(
                         name, rtype, edns, authorities, target,
-                        per_try_timeout, msg_id)
+                        per_try_timeout, msg_id, ctx=ctx)
                 else:
                     response = yield from self._probe(
                         name, rtype, edns, authorities, target,
-                        per_try_timeout, msg_id)
+                        per_try_timeout, msg_id, attempt=attempt, ctx=ctx)
             except QueryTimeout as error:
                 self.timeouts_seen += 1
+                self._count("repro_stub_timeouts_total",
+                            "per-attempt timeouts burned")
                 last_error = error
             except WireFormatError as error:
                 last_error = error
@@ -151,6 +191,8 @@ class StubResolver:
                 # policy allows, but keep the response so exhaustion
                 # returns the server's verdict instead of raising.
                 self.servfails_seen += 1
+                self._count("repro_stub_servfails_total",
+                            "SERVFAIL responses absorbed by retries")
                 last_servfail = result
                 last_error = None
             if attempt >= max_attempts:
@@ -166,41 +208,65 @@ class StubResolver:
 
     def _probe(self, name: Name, rtype: RecordType, edns: Optional[Edns],
                authorities: Optional[List[ResourceRecord]], target: Endpoint,
-               per_try_timeout: float, msg_id: int) -> Generator:
+               per_try_timeout: float, msg_id: int, attempt: int = 1,
+               ctx=None, hedge: bool = False) -> Generator:
         """Process: one query/response round, TCP fallback included."""
         query = make_query(name, rtype, msg_id=msg_id, edns=edns)
         if authorities:
             query.authorities = list(authorities)
         sock = UdpSocket(self.host, ip=self.source_ip)
         self.queries_issued += 1
+        tel = self.network.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.begin("stub.attempt", "resolver",
+                                    self.host.name, parent=ctx,
+                                    attempt=attempt, hedge=hedge,
+                                    server=str(target))
+            tel.metrics.counter("repro_stub_attempts_total",
+                                "client transmissions").inc(
+                                    server=target.ip)
+        probe_ctx = span.context if span is not None else ctx
         try:
             reply = yield sock.request(query.to_wire(), target,
-                                       per_try_timeout)
+                                       per_try_timeout, ctx=probe_ctx)
+        except Exception as error:
+            if tel is not None:
+                tel.tracer.end(span, outcome=type(error).__name__)
+            raise
         finally:
             sock.close()
-        response = Message.from_wire(reply.payload)
-        if response.msg_id != msg_id:
-            raise WireFormatError("transaction id mismatch")
-        if response.flags.tc:
-            # Truncated: retry the same query over the stream
-            # transport (RFC 7766), like dig's automatic +tcp retry.
-            response = yield from self._retry_over_stream(
-                query, target, timeout=per_try_timeout)
+        try:
+            response = Message.from_wire(reply.payload)
+            if response.msg_id != msg_id:
+                raise WireFormatError("transaction id mismatch")
+            if response.flags.tc:
+                # Truncated: retry the same query over the stream
+                # transport (RFC 7766), like dig's automatic +tcp retry.
+                response = yield from self._retry_over_stream(
+                    query, target, timeout=per_try_timeout, ctx=probe_ctx)
+        except Exception as error:
+            if tel is not None:
+                tel.tracer.end(span, outcome=type(error).__name__)
+            raise
+        if tel is not None:
+            tel.tracer.end(span, outcome=response.rcode.name)
         return response
 
     def _hedged_probe(self, name: Name, rtype: RecordType,
                       edns: Optional[Edns],
                       authorities: Optional[List[ResourceRecord]],
                       target: Endpoint, per_try_timeout: float,
-                      msg_id: int) -> Generator:
+                      msg_id: int, ctx=None) -> Generator:
         """Process: race the probe against a delayed identical hedge."""
         sim = self.network.sim
         hedge_msg_id = self._rng.randrange(1, 0xFFFF)
         primary = sim.spawn(self._probe(
-            name, rtype, edns, authorities, target, per_try_timeout, msg_id))
+            name, rtype, edns, authorities, target, per_try_timeout, msg_id,
+            ctx=ctx))
         hedge = sim.spawn(self._hedge_after(
             primary, name, rtype, edns, authorities, target,
-            per_try_timeout, hedge_msg_id))
+            per_try_timeout, hedge_msg_id, ctx=ctx))
         try:
             response = yield sim.first_success([primary, hedge])
         except ProcessFailed as error:
@@ -214,32 +280,51 @@ class StubResolver:
                      edns: Optional[Edns],
                      authorities: Optional[List[ResourceRecord]],
                      target: Endpoint, per_try_timeout: float,
-                     msg_id: int) -> Generator:
+                     msg_id: int, ctx=None) -> Generator:
         assert self.policy is not None
         yield self.policy.hedge_after_ms
         if primary.done and primary.error is None:
             raise QueryTimeout("hedge not needed; primary already answered")
         self.hedges_sent += 1
+        self._count("repro_stub_hedges_total",
+                    "hedged second queries actually transmitted")
         response = yield from self._probe(
-            name, rtype, edns, authorities, target, per_try_timeout, msg_id)
+            name, rtype, edns, authorities, target, per_try_timeout, msg_id,
+            ctx=ctx, hedge=True)
         return response
 
     def _retry_over_stream(self, query: Message, target: Endpoint,
-                           timeout: Optional[float] = None) -> Generator:
+                           timeout: Optional[float] = None,
+                           ctx=None) -> Generator:
         from repro.netsim.stream import open_channel
         from repro.resolver.server import DNS_TCP_PORT
         self.tcp_fallbacks += 1
-        channel = yield from open_channel(
-            self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT),
-            timeout=timeout)
+        tel = self.network.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.begin("stub.tcp-fallback", "resolver",
+                                    self.host.name, parent=ctx,
+                                    server=str(target))
+            tel.metrics.counter("repro_stub_tcp_fallbacks_total",
+                                "truncated replies retried over TCP").inc()
         try:
-            raw = yield from channel.exchange(query.to_wire(),
-                                              timeout=timeout)
-        finally:
-            channel.close()
-        response = Message.from_wire(raw)
-        if response.msg_id != query.msg_id:
-            raise WireFormatError("tcp retry transaction id mismatch")
+            channel = yield from open_channel(
+                self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT),
+                timeout=timeout)
+            try:
+                raw = yield from channel.exchange(query.to_wire(),
+                                                  timeout=timeout)
+            finally:
+                channel.close()
+            response = Message.from_wire(raw)
+            if response.msg_id != query.msg_id:
+                raise WireFormatError("tcp retry transaction id mismatch")
+        except Exception as error:
+            if tel is not None:
+                tel.tracer.end(span, outcome=type(error).__name__)
+            raise
+        if tel is not None:
+            tel.tracer.end(span, outcome=response.rcode.name)
         return response
 
     def resolve_addresses(self, name: Name,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from repro.dnswire.message import Message, ResourceRecord
+from repro.dnswire.message import ResourceRecord
 from repro.dnswire.name import Name
 from repro.dnswire.rdata import SOA
 from repro.dnswire.types import Rcode, RecordType

@@ -1,0 +1,94 @@
+"""`repro.telemetry` — query-scoped tracing, metrics, and exporters.
+
+The observability substrate for the whole stack: a :class:`Tracer`
+producing spans on the simulated clock, a :class:`MetricsRegistry` of
+counters/gauges/histograms, and exporters to Prometheus text, Chrome
+``trace_event`` JSON, and a JSON experiment artifact.
+
+Everything hangs off one :class:`Telemetry` facade::
+
+    tel = Telemetry()
+    tel.attach(testbed.network)          # binds the sim clock, too
+    ... run the workload ...
+    exporters.write_chrome_trace(tel.tracer.finished, "trace.json")
+    print(exporters.to_prometheus_text(tel.metrics))
+
+Instrumented call sites all guard on ``network.telemetry`` being
+non-``None`` (and the sockets/servers thread a per-query context
+object), so with no telemetry attached the simulation runs the exact
+same instruction stream it always did: no RNG draws, no added delays,
+byte-for-byte identical replay digests.
+
+For runs driven through ``repro.cli`` there is an **ambient default**:
+:func:`set_default` installs a facade that ``build_testbed`` (and the
+public-internet scenario) attach to each network they create, which is
+how ``--trace-out``/``--metrics-out`` instrument experiments without
+threading a parameter through every builder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry import exporters
+from repro.telemetry.analysis import (LatencySplit, gateway_crossings,
+                                      trace_duration,
+                                      wireless_resolver_split)
+from repro.telemetry.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
+                                     Histogram, MetricsRegistry)
+from repro.telemetry.trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "Telemetry", "Tracer", "Span", "TraceContext",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "LatencySplit", "wireless_resolver_split", "gateway_crossings",
+    "trace_duration", "exporters",
+    "set_default", "get_default", "clear_default",
+]
+
+
+class Telemetry:
+    """One run's tracer plus metrics registry, attachable to networks."""
+
+    def __init__(self, tracing: bool = True) -> None:
+        self.tracer = Tracer(enabled=tracing)
+        self.metrics = MetricsRegistry()
+
+    def attach(self, network) -> "Telemetry":
+        """Make ``network`` (and everything riding it) report here.
+
+        Binds the tracer's clock to the network's simulator and sets
+        ``network.telemetry``, which every instrumentation site in the
+        stack checks before doing any work.
+        """
+        network.telemetry = self
+        self.tracer.bind_clock(lambda: network.sim.now)
+        return self
+
+    def detach(self, network) -> None:
+        """Stop ``network`` reporting here."""
+        if getattr(network, "telemetry", None) is self:
+            network.telemetry = None
+
+    def __repr__(self) -> str:
+        return (f"Telemetry({len(self.tracer.finished)} spans, "
+                f"{len(self.metrics)} instruments)")
+
+
+_default: Optional[Telemetry] = None
+
+
+def set_default(telemetry: Optional[Telemetry]) -> None:
+    """Install the ambient telemetry picked up by testbed builders."""
+    global _default
+    _default = telemetry
+
+
+def get_default() -> Optional[Telemetry]:
+    """The ambient telemetry, or ``None`` when observation is off."""
+    return _default
+
+
+def clear_default() -> None:
+    """Remove the ambient telemetry (equivalent to ``set_default(None)``)."""
+    set_default(None)

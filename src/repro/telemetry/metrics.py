@@ -1,0 +1,234 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+Modeled on the Prometheus client-library data model — instruments are
+registered once by name, carry a help string, and hold one sample per
+label combination — but kept dependency-free and deterministic.  The
+registry never reads a clock and never draws randomness, so recording a
+metric cannot perturb the simulation.
+
+Label values are stringified and samples are keyed by the sorted
+``(key, value)`` tuple, so ``inc(host="a", link="b")`` and
+``inc(link="b", host="a")`` hit the same sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Latency-oriented default buckets, in milliseconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, float("inf"))
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count, optionally partitioned by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._samples: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the sample selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """The current count for one label combination (0.0 if unseen)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._samples.values())
+
+    def samples(self) -> Iterator[Tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs in stable sorted order."""
+        yield from sorted(self._samples.items())
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.total():g})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, pool size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._samples: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Replace the sample selected by ``labels`` with ``value``."""
+        self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to the selected sample."""
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` from the selected sample."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """The current value for one label combination (0.0 if unseen)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Tuple[LabelKey, float]]:
+        """``(label_key, value)`` pairs in stable sorted order."""
+        yield from sorted(self._samples.items())
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}, {len(self._samples)} series)"
+
+
+class _HistogramSample:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe(v)`` increments every bucket whose upper bound is ≥ v when
+    exported; internally each observation lands in exactly one bucket
+    and cumulation happens at read time.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._samples: Dict[LabelKey, _HistogramSample] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the selected sample."""
+        key = _label_key(labels)
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = self._samples[key] = _HistogramSample(len(self.buckets))
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                sample.bucket_counts[index] += 1
+                break
+        sample.total += value
+        sample.count += 1
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded for one label combination."""
+        sample = self._samples.get(_label_key(labels))
+        return sample.count if sample is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observed values for one label combination."""
+        sample = self._samples.get(_label_key(labels))
+        return sample.total if sample is not None else 0.0
+
+    def cumulative_buckets(self, **labels: object) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for one sample."""
+        sample = self._samples.get(_label_key(labels))
+        if sample is None:
+            return [(bound, 0) for bound in self.buckets]
+        running = 0
+        out: List[Tuple[float, int]] = []
+        for bound, in_bucket in zip(self.buckets, sample.bucket_counts):
+            running += in_bucket
+            out.append((bound, running))
+        return out
+
+    def samples(self) -> Iterator[Tuple[LabelKey, _HistogramSample]]:
+        """``(label_key, sample)`` pairs in stable sorted order."""
+        yield from sorted(self._samples.items(), key=lambda item: item[0])
+
+    def __repr__(self) -> str:
+        observed = sum(s.count for _, s in self.samples())
+        return f"Histogram({self.name}, {observed} observations)"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a run.
+
+    Layers call ``registry.counter("repro_stub_queries_total", ...)`` at
+    the point of use; the first call registers the instrument and later
+    calls return the same object, so instrumentation sites need no setup
+    ordering.  Re-registering a name as a different kind is a bug and
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name``, creating it on first use."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name``, creating it on first use."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name``, creating it on first use.
+
+        ``buckets`` only applies on creation; later callers share the
+        instrument as registered.
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, help, buckets)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}")
+        return instrument
+
+    def get(self, name: str) -> Optional[object]:
+        """The registered instrument called ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def instruments(self) -> List[object]:
+        """Every registered instrument, sorted by name."""
+        return [self._instruments[name]
+                for name in sorted(self._instruments)]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _get_or_create(self, cls: type, name: str, help: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}")
+        return instrument
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -1,0 +1,209 @@
+"""Query-scoped spans on the simulated clock.
+
+A **trace** is one logical operation end to end — a DNS resolution, a
+content fetch — and a **span** is one timed step inside it: a stub
+attempt, an L-DNS cache probe, an upstream exchange, a C-DNS routing
+decision, a single link traversal.  Parentage is carried by a
+:class:`TraceContext` threaded through the call paths (and, across the
+simulated wire, attached out-of-band to in-flight datagrams), exactly
+like a trace id propagated in a request header — except nothing here
+ever touches the wire bytes, so tracing can never perturb the
+simulation.
+
+Identifiers are sequence numbers, not random: the tracer draws no
+randomness and adds no simulated time, which is what lets the replay
+digests stay byte-for-byte identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+#: Anything that can parent a new span.
+ParentLike = Union["Span", "TraceContext", None]
+
+
+class TraceContext:
+    """An immutable (trace, span) reference used to parent child spans.
+
+    This is the propagation token: pass it down a call path (or ride it
+    on a datagram) and every span begun with it as ``parent`` joins the
+    same trace.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One timed operation within a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "category",
+                 "track", "start_ms", "end_ms", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int],
+                 name: str, category: str, track: str,
+                 start_ms: float, end_ms: Optional[float],
+                 attrs: Dict[str, Any]) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        #: The lane the span renders on (a host name, a link name).
+        self.track = track
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.attrs = attrs
+
+    @property
+    def context(self) -> TraceContext:
+        """The context that parents children of this span."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration; 0.0 while the span is still open."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    @property
+    def done(self) -> bool:
+        return self.end_ms is not None
+
+    def __repr__(self) -> str:
+        when = (f"{self.start_ms:.3f}..{self.end_ms:.3f}"
+                if self.end_ms is not None else f"{self.start_ms:.3f}..open")
+        return (f"Span({self.category}/{self.name} trace={self.trace_id} "
+                f"[{when}] on {self.track})")
+
+
+class Tracer:
+    """Creates, finishes, and stores spans.
+
+    ``enabled=False`` turns every method into a cheap no-op returning
+    ``None`` — the instrumented call sites all tolerate ``None`` spans
+    and contexts, so a disabled tracer costs one attribute check per
+    site and nothing else.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_spans: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.finished: List[Span] = []
+        self.dropped = 0
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._next_trace_id = 0
+        self._next_span_id = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a simulator clock (``lambda: sim.now``)."""
+        self._clock = clock
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def begin(self, name: str, category: str, track: str,
+              parent: ParentLike = None, **attrs: Any) -> Optional[Span]:
+        """Open a span starting now; ``parent=None`` starts a new trace."""
+        if not self.enabled:
+            return None
+        return self._make(name, category, track, parent,
+                          start_ms=self._clock(), end_ms=None, attrs=attrs)
+
+    def end(self, span: Optional[Span], **attrs: Any) -> None:
+        """Close ``span`` at the current clock; no-op on ``None``."""
+        if span is None or span.end_ms is not None:
+            return
+        span.end_ms = self._clock()
+        if attrs:
+            span.attrs.update(attrs)
+        self._record(span)
+
+    def add(self, name: str, category: str, track: str,
+            start_ms: float, end_ms: float,
+            parent: ParentLike = None, **attrs: Any) -> Optional[Span]:
+        """Record a fully-formed span with explicit times.
+
+        Used where the caller already knows both endpoints — the network
+        walk computes each hop's departure and arrival before the packet
+        "moves", so hop spans are added in one shot.
+        """
+        if not self.enabled:
+            return None
+        span = self._make(name, category, track, parent,
+                          start_ms=start_ms, end_ms=end_ms, attrs=attrs)
+        self._record(span)
+        return span
+
+    def event(self, name: str, category: str, track: str,
+              parent: ParentLike = None, **attrs: Any) -> Optional[Span]:
+        """Record an instant (zero-duration) event at the current clock."""
+        if not self.enabled:
+            return None
+        now = self._clock()
+        span = self._make(name, category, track, parent,
+                          start_ms=now, end_ms=now, attrs=attrs)
+        self._record(span)
+        return span
+
+    # -- reading back -----------------------------------------------------------
+
+    def spans_for(self, trace_id: int) -> List[Span]:
+        """Finished spans belonging to one trace, in finish order."""
+        return [span for span in self.finished if span.trace_id == trace_id]
+
+    def trace_ids(self) -> List[int]:
+        """Distinct trace ids among finished spans, in first-seen order."""
+        seen: Dict[int, None] = {}
+        for span in self.finished:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop every stored span (ids keep incrementing)."""
+        self.finished.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    # -- internals --------------------------------------------------------------
+
+    def _make(self, name: str, category: str, track: str, parent: ParentLike,
+              start_ms: float, end_ms: Optional[float],
+              attrs: Dict[str, Any]) -> Span:
+        if parent is None:
+            self._next_trace_id += 1
+            trace_id = self._next_trace_id
+            parent_id: Optional[int] = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        self._next_span_id += 1
+        return Span(trace_id, self._next_span_id, parent_id, name, category,
+                    track, start_ms, end_ms, dict(attrs))
+
+    def _record(self, span: Span) -> None:
+        if len(self.finished) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.finished.append(span)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.finished)} spans)"
+
+
+def spans_in_window(spans: Iterable[Span], start: float,
+                    end: float) -> List[Span]:
+    """Finished spans whose end time falls inside ``[start, end]``."""
+    return [span for span in spans
+            if span.end_ms is not None and start <= span.end_ms <= end]

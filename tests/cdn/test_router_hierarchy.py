@@ -12,7 +12,7 @@ from repro.cdn import (
     TrafficRouter,
 )
 from repro.dnswire import ClientSubnet, Edns, Name, RecordType
-from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
+from repro.netsim import Constant, Network, RandomStreams, Simulator
 from repro.resolver import StubResolver
 
 

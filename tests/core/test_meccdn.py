@@ -6,7 +6,7 @@ from repro.cdn import ContentCatalog, HttpClient
 from repro.core import MecCdnSite
 from repro.dnswire import Name
 from repro.mec.namespaces import NamespacePolicy
-from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
+from repro.netsim import Constant, Network, RandomStreams, Simulator
 from repro.resolver import StubResolver
 
 

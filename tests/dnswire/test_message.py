@@ -70,7 +70,7 @@ class TestQueryResponse:
         assert parsed.answer_addresses() == ["151.101.2.2"]
 
     def test_all_sections_roundtrip(self):
-        from repro.dnswire.rdata import NS, SOA
+        from repro.dnswire.rdata import SOA
         query = make_query(Name("x.example.com"), msg_id=3)
         response = make_response(
             query, rcode=Rcode.NXDOMAIN,

@@ -12,7 +12,7 @@ from repro.dnswire import (
     Zone,
     parse_master_file,
 )
-from repro.dnswire.rdata import NS, SOA, TXT
+from repro.dnswire.rdata import NS, SOA
 from repro.dnswire.zone import zone_from_records
 from repro.errors import ZoneError
 

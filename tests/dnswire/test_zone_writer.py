@@ -1,8 +1,6 @@
 """Tests for the master-file writer, incl. a parse/render round-trip."""
 
-import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dnswire import (

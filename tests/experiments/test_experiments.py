@@ -114,7 +114,6 @@ class TestFigure3:
         assert all(row.unmatched == 0 for row in figure3_result.rows)
 
     def test_multi_provider_domains_spread(self, figure3_result):
-        from repro.cdn.providers import deployment_for
         distribution = figure3_result.distribution_for(
             "TripAdvisor", "cellular-mobile")
         providers = {label.split(" (")[0] for label in distribution}

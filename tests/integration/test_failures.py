@@ -5,7 +5,6 @@ degradation but not unavailability"); these tests kill pods, cut caches,
 and drop radio frames mid-run and assert service continues.
 """
 
-import pytest
 
 from repro.cdn import ContentCatalog, HttpClient
 from repro.core import FallbackClient, MecCdnSite

@@ -1,0 +1,105 @@
+"""Tests for the open-loop load generator's loss accounting."""
+
+import math
+
+import pytest
+
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import A, NS, SOA
+from repro.dnswire.types import RecordType
+from repro.dnswire.zone import Zone
+from repro.measure.loadgen import LoadGenerator, run_load
+from repro.netsim.engine import Simulator
+from repro.netsim.latency import Constant
+from repro.netsim.network import Network
+from repro.netsim.packet import Endpoint
+from repro.netsim.rand import RandomStreams
+from repro.resolver.authoritative import AuthoritativeServer
+
+DOMAIN = "cap.test"
+CONTENT = Name(f"video.{DOMAIN}")
+
+
+def _zone():
+    zone = Zone(Name(DOMAIN))
+    zone.add(ResourceRecord(Name(DOMAIN), RecordType.SOA, 300,
+                            SOA(Name(f"ns.{DOMAIN}"), Name(f"admin.{DOMAIN}"),
+                                1, 2, 3, 4, 60)))
+    zone.add(ResourceRecord(Name(DOMAIN), RecordType.NS, 300,
+                            NS(Name(f"ns.{DOMAIN}"))))
+    zone.add(ResourceRecord(CONTENT, RecordType.A, 0, A("10.9.9.9")))
+    return zone
+
+
+def loaded_server(workers=1, service_ms=1.0, max_queue=16, seed=0):
+    """A single DNS server topology with a bounded service capacity."""
+    sim = Simulator()
+    net = Network(sim, RandomStreams(seed))
+    net.add_host("dns", "10.0.0.53")
+    net.add_host("clients", "10.0.0.1")
+    net.add_link("clients", "dns", Constant(1.0))
+    AuthoritativeServer(net, net.host("dns"), [_zone()],
+                        processing_delay=Constant(service_ms),
+                        workers=workers, max_queue=max_queue)
+    return net
+
+
+class TestSaturation:
+    def test_overload_shows_loss(self):
+        # 1 worker x 1 ms service = ~1000 qps capacity; offer 4x that.
+        net = loaded_server()
+        result = run_load(net, net.host("clients"), Endpoint("10.0.0.53", 53),
+                          CONTENT, offered_qps=4000.0, duration_ms=500.0,
+                          reply_timeout_ms=500.0)
+        assert result.answered < result.sent
+        assert result.loss_rate > 0.0
+        assert result.loss_rate == pytest.approx(
+            1.0 - result.answered / result.sent)
+
+    def test_latencies_come_only_from_answered_queries(self):
+        net = loaded_server()
+        result = run_load(net, net.host("clients"), Endpoint("10.0.0.53", 53),
+                          CONTENT, offered_qps=4000.0, duration_ms=500.0,
+                          reply_timeout_ms=500.0)
+        # Lost queries never produce a latency sample, so even at heavy
+        # loss the distribution stays finite and below the reply timeout.
+        assert result.answered > 0
+        assert math.isfinite(result.mean_latency_ms)
+        assert result.p99_ms <= 500.0
+        assert result.goodput_qps < result.offered_qps
+
+    def test_below_capacity_is_lossless(self):
+        net = loaded_server()
+        result = run_load(net, net.host("clients"), Endpoint("10.0.0.53", 53),
+                          CONTENT, offered_qps=200.0, duration_ms=500.0,
+                          reply_timeout_ms=500.0)
+        assert result.answered == result.sent
+        assert result.loss_rate == 0.0
+
+    def test_all_lost_run_has_infinite_latency(self):
+        net = loaded_server()
+        net.host("dns").down = True
+        result = run_load(net, net.host("clients"), Endpoint("10.0.0.53", 53),
+                          CONTENT, offered_qps=100.0, duration_ms=100.0,
+                          reply_timeout_ms=100.0)
+        assert result.answered == 0
+        assert result.loss_rate == 1.0
+        assert result.mean_latency_ms == math.inf
+
+
+class TestValidation:
+    def test_nonpositive_rate_rejected(self):
+        net = loaded_server()
+        generator = LoadGenerator(net, net.host("clients"),
+                                  Endpoint("10.0.0.53", 53), CONTENT)
+        with pytest.raises(ValueError):
+            next(generator.run(0.0, 100.0))
+
+    def test_sent_matches_offered_window(self):
+        net = loaded_server()
+        result = run_load(net, net.host("clients"), Endpoint("10.0.0.53", 53),
+                          CONTENT, offered_qps=100.0, duration_ms=500.0,
+                          reply_timeout_ms=200.0)
+        # 100 qps for 500 ms -> one injection per 10 ms window.
+        assert result.sent == 50

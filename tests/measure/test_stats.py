@@ -92,6 +92,24 @@ class TestSummarize:
     def test_str_rendering(self):
         text = str(summarize([1.0, 2.0, 3.0]))
         assert "mean=" in text and "n=3" in text
+        assert "p99=" in text
+
+    def test_p99_is_untrimmed(self):
+        # One enormous outlier: trimming drops it from the mean, but the
+        # p99 tail (like p95 and the extremes) must still see it.
+        values = [10.0] * 9 + [1000.0]
+        stats = summarize(values)
+        assert stats.p99 > 900.0
+        assert stats.mean == pytest.approx(10.0)
+
+    def test_p99_between_p95_and_max(self):
+        values = [float(v) for v in range(1, 201)]
+        stats = summarize(values)
+        assert stats.p95 <= stats.p99 <= stats.maximum
+
+    def test_p99_shares_percentile_implementation(self):
+        values = [float(v) for v in range(1, 101)]
+        assert summarize(values).p99 == percentile(values, 99)
 
     def test_returns_namedtuple(self):
         assert isinstance(summarize([1.0]), SummaryStats)

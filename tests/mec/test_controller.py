@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import CapacityError
 from repro.mec import Orchestrator, ReplicaController
 from repro.netsim import Constant, Network, RandomStreams, Simulator
 

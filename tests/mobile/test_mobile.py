@@ -18,7 +18,7 @@ from repro.mobile import (
     WIRED_CAMPUS,
 )
 from repro.mobile.nat import is_private
-from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator, UdpSocket
+from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
 from repro.netsim.packet import Datagram
 from repro.resolver import AuthoritativeServer
 

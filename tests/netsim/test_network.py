@@ -5,7 +5,6 @@ import pytest
 from repro.errors import AddressError, QueryTimeout, RoutingError, SocketError
 from repro.netsim import (
     Constant,
-    Datagram,
     Endpoint,
     Middlebox,
     Network,

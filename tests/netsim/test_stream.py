@@ -8,7 +8,6 @@ from repro.errors import SocketError
 from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
 from repro.netsim.stream import StreamServer, open_channel
 from repro.resolver import AuthoritativeServer, StubResolver
-from repro.resolver.server import DNS_TCP_PORT
 
 
 @pytest.fixture

@@ -1,0 +1,109 @@
+"""Tests for the PacketTrace tcpdump-analog tap and its filters."""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.latency import Constant
+from repro.netsim.network import Network
+from repro.netsim.packet import Endpoint
+from repro.netsim.rand import RandomStreams
+from repro.netsim.socket import UdpSocket
+from repro.netsim.trace import PacketTrace
+
+
+def three_hop_network():
+    """client -- middle -- server, 1 ms per link."""
+    sim = Simulator()
+    net = Network(sim, RandomStreams(0))
+    net.add_host("client", "10.0.0.1")
+    net.add_host("middle", "10.0.0.2")
+    net.add_host("server", "10.0.0.3")
+    net.add_link("client", "middle", Constant(1.0))
+    net.add_link("middle", "server", Constant(1.0))
+    UdpSocket(net.host("server"), port=53)  # the listening endpoint
+    return sim, net
+
+
+def send_one(sim, net, payload=b"ping"):
+    """Send one datagram client -> server and run the sim dry."""
+    sock = UdpSocket(net.host("client"))
+    sock.send_to(payload, Endpoint("10.0.0.3", 53))
+    sim.run()
+    sock.close()
+
+
+class TestFilters:
+    def test_unfiltered_sees_every_event(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net)
+        send_one(sim, net)
+        events = {record.event for record in trace.records}
+        assert events == {"send", "forward", "deliver"}
+
+    def test_host_filter_limits_to_one_host(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net, host_filter="middle")
+        send_one(sim, net)
+        assert trace.records
+        assert all(record.host == "middle" for record in trace.records)
+        assert all(record.event == "forward" for record in trace.records)
+
+    def test_event_filter_limits_to_one_kind(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net, event_filter="deliver")
+        send_one(sim, net)
+        assert len(trace.records) == 1
+        record = trace.records[0]
+        assert record.event == "deliver"
+        assert record.host == "server"
+
+    def test_combined_filters(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net, host_filter="server",
+                            event_filter="forward")
+        send_one(sim, net)
+        assert trace.records == []  # the server only ever delivers
+
+    def test_records_carry_packet_fields(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net, event_filter="deliver")
+        send_one(sim, net, payload=b"ping")
+        record = trace.records[0]
+        assert record.dst == "10.0.0.3:53"
+        assert record.size > 0
+        assert record.protocol == "udp"
+        assert record.time == 2.0  # two 1 ms hops
+
+
+class TestLifecycle:
+    def test_between_selects_time_window(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net)
+        send_one(sim, net)
+        early = trace.between(0.0, 1.0)
+        assert early
+        assert all(record.time <= 1.0 for record in early)
+        assert len(trace.between(100.0, 200.0)) == 0
+
+    def test_first_by_event_kind(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net)
+        send_one(sim, net)
+        assert trace.first("deliver").host == "server"
+        assert trace.first("nonexistent") is None
+
+    def test_clear_keeps_capturing(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net)
+        send_one(sim, net)
+        trace.clear()
+        assert len(trace) == 0
+        send_one(sim, net)
+        assert len(trace) > 0
+
+    def test_close_stops_capturing(self):
+        sim, net = three_hop_network()
+        trace = PacketTrace(net)
+        send_one(sim, net)
+        seen = len(trace)
+        trace.close()
+        send_one(sim, net)
+        assert len(trace) == seen

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cdn import CacheServer, ContentCatalog
 from repro.cdn.router import _HashRing
-from repro.dnswire import Name
 from repro.mobile.nat import NatMiddlebox
 from repro.netsim import Network, RandomStreams, Simulator
 from repro.netsim.packet import Datagram, Endpoint

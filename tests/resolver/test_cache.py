@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.dnswire import Name, RecordType, ResourceRecord
-from repro.dnswire.rdata import A, CNAME
+from repro.dnswire.rdata import A
 from repro.resolver.cache import CacheOutcome, DnsCache, MAX_TTL
 
 

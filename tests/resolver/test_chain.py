@@ -1,6 +1,5 @@
 """Tests for the CoreDNS-style plugin chain."""
 
-import pytest
 
 from repro.dnswire import Name, RecordType, ResourceRecord, make_query, make_response
 from repro.dnswire.rdata import A

@@ -8,9 +8,9 @@ router is exactly such a tailoring server, so this path matters here.
 
 import pytest
 
-from repro.dnswire import A, ClientSubnet, Name, RecordType, ResourceRecord, Zone
+from repro.dnswire import A, Name, RecordType, ResourceRecord, Zone
 from repro.dnswire.rdata import NS, SOA
-from repro.netsim import Constant, Endpoint, Network, RandomStreams, Simulator
+from repro.netsim import Constant, Network, RandomStreams, Simulator
 from repro.resolver import AuthoritativeServer, RecursiveResolver, StubResolver
 from repro.resolver.recursive import root_hints_from
 

@@ -1,0 +1,156 @@
+"""Tests for the Prometheus, Chrome trace, and JSON artifact exporters."""
+
+import json
+
+from repro.telemetry.exporters import (
+    to_chrome_trace,
+    to_json_artifact,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_json_artifact,
+    write_prometheus_text,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+def populated_registry():
+    """A registry with one of each instrument kind."""
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", "queries").inc(server="mec")
+    registry.counter("repro_queries_total", "queries").inc(server="mec")
+    registry.gauge("repro_queue_depth", "queue").set(4.0, server="mec")
+    hist = registry.histogram("repro_latency_ms", "latency",
+                              buckets=(10.0, 100.0))
+    hist.observe(5.0)
+    hist.observe(50.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self):
+        text = to_prometheus_text(populated_registry())
+        assert "# HELP repro_queries_total queries" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_latency_ms histogram" in text
+
+    def test_counter_sample_with_labels(self):
+        text = to_prometheus_text(populated_registry())
+        assert 'repro_queries_total{server="mec"} 2' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus_text(populated_registry())
+        assert 'repro_latency_ms_bucket{le="10"} 1' in text
+        assert 'repro_latency_ms_bucket{le="100"} 2' in text
+        assert 'repro_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_ms_sum 55" in text
+        assert "repro_latency_ms_count 2" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "h").inc(path='a"b\\c')
+        text = to_prometheus_text(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus_text(populated_registry(), str(path))
+        assert path.read_text() == to_prometheus_text(populated_registry())
+
+
+def finished_spans():
+    """Two finished spans on two tracks plus one still-open span."""
+    tracer = Tracer()
+    clock = [0.0]
+    tracer.bind_clock(lambda: clock[0])
+    root = tracer.begin("lookup", "measure", "driver", qname="x.test")
+    tracer.add("transit", "net", "pgw", start_ms=1.0, end_ms=3.5,
+               parent=root)
+    clock[0] = 10.0
+    tracer.end(root, status="NOERROR")
+    tracer.begin("never-finished", "measure", "driver")
+    return tracer.finished
+
+
+class TestChromeTrace:
+    def test_document_is_json_serializable(self):
+        document = to_chrome_trace(finished_spans())
+        parsed = json.loads(json.dumps(document))
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_complete_events_in_microseconds(self):
+        document = to_chrome_trace(finished_spans())
+        complete = [event for event in document["traceEvents"]
+                    if event["ph"] == "X"]
+        assert len(complete) == 2  # the open span is excluded
+        transit = next(event for event in complete
+                       if event["name"] == "transit")
+        assert transit["ts"] == 1000.0
+        assert transit["dur"] == 2500.0
+
+    def test_thread_metadata_per_track(self):
+        document = to_chrome_trace(finished_spans())
+        thread_names = {event["args"]["name"]
+                        for event in document["traceEvents"]
+                        if event["ph"] == "M"
+                        and event["name"] == "thread_name"}
+        assert thread_names == {"driver", "pgw"}
+
+    def test_span_identity_in_args(self):
+        document = to_chrome_trace(finished_spans())
+        transit = next(event for event in document["traceEvents"]
+                       if event["ph"] == "X" and event["name"] == "transit")
+        assert "trace_id" in transit["args"]
+        assert "parent_id" in transit["args"]
+
+    def test_events_sorted_by_timestamp(self):
+        document = to_chrome_trace(finished_spans())
+        stamps = [event["ts"] for event in document["traceEvents"]
+                  if event["ph"] == "X"]
+        assert stamps == sorted(stamps)
+
+    def test_write_produces_loadable_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(finished_spans(), str(path))
+        parsed = json.loads(path.read_text())
+        assert any(event["ph"] == "X" for event in parsed["traceEvents"])
+
+
+class TestJsonArtifact:
+    def test_format_marker_and_metrics(self):
+        document = to_json_artifact(populated_registry())
+        assert document["format"] == "repro-telemetry-v1"
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_histogram_samples_json_safe(self):
+        document = to_json_artifact(populated_registry())
+        json.dumps(document)  # must not raise on the +Inf bound
+        hist = next(entry for entry in document["metrics"]
+                    if entry["name"] == "repro_latency_ms")
+        bounds = [bucket["le"] for bucket in hist["samples"][0]["buckets"]]
+        assert bounds[-1] == "+Inf"
+
+    def test_span_rollup(self):
+        document = to_json_artifact(populated_registry(),
+                                    spans=finished_spans())
+        assert document["spans"]["count"] == 2
+        assert document["spans"]["traces"] == 1
+        by_name = {entry["name"]: entry
+                   for entry in document["spans"]["by_name"]}
+        assert by_name["transit"]["count"] == 1
+
+    def test_meta_passthrough(self):
+        document = to_json_artifact(MetricsRegistry(),
+                                    meta={"experiment": "figure5"})
+        assert document["meta"] == {"experiment": "figure5"}
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_json_artifact(populated_registry(), str(path))
+        parsed = json.loads(path.read_text())
+        assert parsed["format"] == "repro-telemetry-v1"

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -67,3 +69,35 @@ class TestCommands:
         assert main(["dig", "www.google.com", "--count", "1"]) == 0
         captured = capsys.readouterr()
         assert "note:" in captured.err
+
+
+class TestTelemetryExports:
+    def test_dig_writes_chrome_trace_and_prometheus(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["dig", "--count", "2",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        complete = [event for event in document["traceEvents"]
+                    if event["ph"] == "X"]
+        assert complete
+        assert all("ts" in event and "dur" in event for event in complete)
+        text = metrics_path.read_text()
+        assert "# TYPE repro_stub_lookups_total counter" in text
+        assert "repro_net_datagrams_total" in text
+
+    def test_experiment_writes_json_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["experiment", "figure5", "--queries", "6",
+                     "--metrics-out", str(metrics_path)]) == 0
+        document = json.loads(metrics_path.read_text())
+        assert document["format"] == "repro-telemetry-v1"
+        assert document["spans"]["traces"] > 0
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "repro_lookup_latency_ms" in names
+
+    def test_no_flags_leaves_telemetry_off(self, capsys):
+        from repro import telemetry
+        assert main(["dig", "--count", "1"]) == 0
+        assert telemetry.get_default() is None
