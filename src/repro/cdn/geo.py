@@ -58,11 +58,17 @@ class _GeoEntry(NamedTuple):
 
 
 class GeoIpDatabase:
-    """Longest-prefix GeoIP with a per-entry error radius."""
+    """Longest-prefix GeoIP with a per-entry error radius.
 
-    def __init__(self, rng: Optional[random.Random] = None) -> None:
+    ``rng`` is required: lookup perturbation must draw from an explicit
+    named stream (``network.streams.stream("geoip")``), never a hidden
+    shared default — instances that silently share one RNG break replay
+    determinism (rule DET005 in ``repro check``).
+    """
+
+    def __init__(self, rng: random.Random) -> None:
         self._entries: List[_GeoEntry] = []
-        self._rng = rng or random.Random(0)
+        self._rng = rng
         self.lookups = 0
         self.unknown = 0
 

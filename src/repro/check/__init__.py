@@ -1,0 +1,34 @@
+"""Static analysis for the repo's determinism and architecture invariants.
+
+The simulator's headline guarantee — byte-identical deterministic replay,
+with telemetry on or off — is enforced at runtime by digest assertions,
+but those only fire long after a hazard is merged.  This package checks
+the invariants *statically*, at review time, with three analyzers:
+
+* :mod:`repro.check.determinism` — an AST linter that forbids wall-clock
+  and entropy sources, module-level ``random`` draws, unseeded or hidden
+  default RNGs, and set-iteration order escaping into behaviour (``DET``
+  rules);
+* :mod:`repro.check.layering` — an import-contract checker that parses
+  the dependency graph and enforces the architecture DAG: ``dnswire`` is
+  stdlib-only, ``netsim`` never imports the protocol layers, and
+  ``telemetry`` stays a leaf that observes without being imported *by*
+  nothing / importing the scheduler (``ARCH`` rules);
+* :mod:`repro.check.conformance` — static validation of DNS artifacts:
+  zone files and embedded master-file text parse, TTLs are in range,
+  names obey RFC 1035 syntax, CNAMEs do not coexist with other data, and
+  every record survives a compressed wire round-trip (``ZONE`` rules).
+
+Run it as ``repro check`` (a subcommand of :mod:`repro.cli`) or as
+``python -m repro.check``; see :mod:`repro.check.runner` for the entry
+point and ``docs/DETERMINISM.md`` for the rule catalogue.
+
+The package deliberately imports nothing heavier than
+:mod:`repro.dnswire`, so the CI job can run it without the simulator's
+third-party dependencies.
+"""
+
+from repro.check.findings import Baseline, Finding
+from repro.check.runner import Report, run_check
+
+__all__ = ["Baseline", "Finding", "Report", "run_check"]

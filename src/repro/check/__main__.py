@@ -1,0 +1,10 @@
+"""``python -m repro.check`` — the static-analysis gate, standalone.
+
+Needs nothing beyond the stdlib and :mod:`repro.dnswire`, so CI can run
+it without installing the simulator's dependencies.
+"""
+
+from repro.check.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,353 @@
+"""ZONE rules: static conformance of DNS artifacts.
+
+Zone data ships in two forms — ``*.zone`` master files and literals in
+Python source (embedded master-file text, ``Name("...")`` /
+``add_simple("owner", ...)`` owners, TTL constants).  This pass validates
+all of it at analysis time, without running the simulator:
+
+========  ==============================================================
+ZONE000   zone data does not parse as a master file
+ZONE001   TTL outside the 31-bit range of RFC 2181 §8
+ZONE002   name violates RFC 1035 syntax (label length/charset, hyphen
+          placement, wildcard position, total length)
+ZONE003   CNAME coexistence breach (CNAME plus other data, multiple
+          CNAMEs at one owner, CNAME at the apex)
+ZONE004   records do not survive a compressed wire round-trip
+ZONE005   SOA missing or inconsistent (apex, uniqueness, timer sanity)
+========  ==============================================================
+
+Full zone files get every rule including ZONE005; embedded snippets and
+single literals get the structural rules only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from repro.check.findings import Finding
+from repro.check.sources import SourceModule, SourceTree
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.types import RecordType
+from repro.dnswire.wire import WireReader, WireWriter
+from repro.dnswire.zone import Zone, parse_master_file
+
+ANALYZER_NAME = "conformance"
+
+RULES: Dict[str, str] = {
+    "ZONE000": "zone data does not parse",
+    "ZONE001": "TTL outside the RFC 2181 31-bit range",
+    "ZONE002": "name violates RFC 1035 syntax",
+    "ZONE003": "CNAME coexistence rules breached",
+    "ZONE004": "record does not survive a compressed wire round-trip",
+    "ZONE005": "SOA missing or inconsistent",
+}
+
+#: RFC 2181 §8: a TTL is an unsigned 31-bit value.
+MAX_TTL_VALUE = 2 ** 31 - 1
+
+#: LDH plus underscore (service labels like ``_dns.example``); hyphens
+#: may not lead or trail a label (RFC 1035 §2.3.1 grammar, relaxed to
+#: allow leading digits per RFC 1123 §2.1).
+_LABEL_RE = re.compile(r"^_?[A-Za-z0-9]([A-Za-z0-9_-]*[A-Za-z0-9_])?$")
+
+
+def name_syntax_issues(text: str, allow_at: bool = False) -> List[str]:
+    """Human-readable RFC 1035 syntax problems of presentation ``text``."""
+    if text in ("", "."):
+        return []
+    if text == "@":
+        return [] if allow_at else ["'@' only valid as a zone-relative owner"]
+    issues: List[str] = []
+    labels = text[:-1].split(".") if text.endswith(".") else text.split(".")
+    wire_length = sum(len(label) + 1 for label in labels) + 1
+    if wire_length > 255:
+        issues.append(f"name is {wire_length} octets on the wire (max 255)")
+    for position, label in enumerate(labels):
+        if not label:
+            issues.append("empty label (consecutive or leading dots)")
+            continue
+        if len(label) > 63:
+            issues.append(f"label '{label[:20]}…' is {len(label)} octets "
+                          f"(max 63)")
+            continue
+        if label == "*":
+            if position != 0:
+                issues.append("wildcard '*' only valid as the leftmost label")
+            continue
+        if not _LABEL_RE.match(label):
+            issues.append(f"label {label!r} has characters outside "
+                          f"letters/digits/hyphen/underscore or a "
+                          f"leading/trailing hyphen")
+    return issues
+
+
+def ttl_issue(value: int) -> Optional[str]:
+    """Why ``value`` is not a legal TTL, or None."""
+    if value < 0:
+        return f"TTL {value} is negative"
+    if value > MAX_TTL_VALUE:
+        return f"TTL {value} exceeds the 31-bit maximum {MAX_TTL_VALUE}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Zone-object validation
+# ---------------------------------------------------------------------------
+
+def validate_zone(zone: Zone, path: str, line: int,
+                  expect_soa: bool = True) -> List[Finding]:
+    """Every ZONE finding for one parsed/constructed zone."""
+    findings: List[Finding] = []
+
+    def emit(rule: str, message: str) -> None:
+        findings.append(Finding(rule, path, line, message))
+
+    per_owner: Dict[Name, Dict[RecordType, int]] = {}
+    records = list(zone.records())
+    for record in records:
+        issue = ttl_issue(record.ttl)
+        if issue is not None:
+            emit("ZONE001", f"{record.name.to_text()} {record.rtype.name}: "
+                            f"{issue}")
+        for label, name in [("owner", record.name)] + [
+                (attr, getattr(record.rdata, attr))
+                for attr in ("target", "mname")
+                if isinstance(getattr(record.rdata, attr, None), Name)]:
+            for problem in name_syntax_issues(name.to_text()):
+                emit("ZONE002", f"{label} {name.to_text()}: {problem}")
+        counts = per_owner.setdefault(record.name, {})
+        counts[record.rtype] = counts.get(record.rtype, 0) + 1
+
+    for owner, counts in per_owner.items():
+        cnames = counts.get(RecordType.CNAME, 0)
+        if not cnames:
+            continue
+        if cnames > 1:
+            emit("ZONE003", f"{owner.to_text()}: {cnames} CNAME records at "
+                            f"one owner (RFC 1035 allows one)")
+        if any(rtype != RecordType.CNAME for rtype in counts):
+            emit("ZONE003", f"{owner.to_text()}: CNAME coexists with other "
+                            f"record types")
+        if owner == zone.origin:
+            emit("ZONE003", f"CNAME at the zone apex {owner.to_text()}")
+
+    findings.extend(_wire_round_trip(records, path, line))
+
+    if expect_soa:
+        findings.extend(_soa_findings(zone, path, line))
+    return findings
+
+
+def _wire_round_trip(records: List[ResourceRecord], path: str,
+                     line: int) -> List[Finding]:
+    """ZONE004: encode all records with compression, decode, compare."""
+    if not records:
+        return []
+    writer = WireWriter(enable_compression=True)
+    try:
+        for record in records:
+            record.to_wire(writer)
+        reader = WireReader(writer.getvalue())
+        decoded = [ResourceRecord.from_wire(reader)
+                   for _ in range(len(records))]
+    except Exception as exc:  # any wire error is exactly the finding
+        return [Finding("ZONE004", path, line,
+                        f"zone does not survive wire encoding: {exc}")]
+    findings = []
+    for original, parsed in zip(records, decoded):
+        if original != parsed:
+            findings.append(Finding(
+                "ZONE004", path, line,
+                f"{original.name.to_text()} {original.rtype.name} changed "
+                f"across the compressed wire round-trip"))
+    return findings
+
+
+def _soa_findings(zone: Zone, path: str, line: int) -> List[Finding]:
+    findings: List[Finding] = []
+    soas = [record for record in zone.records()
+            if record.rtype == RecordType.SOA]
+    if not soas:
+        return [Finding("ZONE005", path, line,
+                        f"zone {zone.origin.to_text()} has no SOA record")]
+    if len(soas) > 1:
+        findings.append(Finding("ZONE005", path, line,
+                                f"zone has {len(soas)} SOA records"))
+    soa = soas[0]
+    if soa.name != zone.origin:
+        findings.append(Finding(
+            "ZONE005", path, line,
+            f"SOA owner {soa.name.to_text()} is not the apex "
+            f"{zone.origin.to_text()}"))
+    refresh = getattr(soa.rdata, "refresh", None)
+    retry = getattr(soa.rdata, "retry", None)
+    expire = getattr(soa.rdata, "expire", None)
+    if None not in (refresh, retry, expire):
+        if retry >= refresh:
+            findings.append(Finding(
+                "ZONE005", path, line,
+                f"SOA retry {retry} should be below refresh {refresh}"))
+        if expire <= refresh:
+            findings.append(Finding(
+                "ZONE005", path, line,
+                f"SOA expire {expire} should exceed refresh {refresh}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Source scanning
+# ---------------------------------------------------------------------------
+
+def _looks_like_master_file(text: str) -> bool:
+    """Multi-line text with a ``$ORIGIN`` directive is zone data.
+
+    The newline requirement keeps one-line strings (e.g. the literal
+    ``"$ORIGIN "`` in a parser) from being mistaken for zones.
+    """
+    return "\n" in text and any(
+        stripped.startswith("$ORIGIN ")
+        for stripped in (line.lstrip() for line in text.splitlines()))
+
+
+def _docstring_nodes(tree: ast.Module) -> Set[int]:
+    """ids of Constant nodes that are docstrings (excluded from scans)."""
+    nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def _literal_int(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, int)):
+        return -node.operand.value
+    return None
+
+
+def _literal_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _argument(node: ast.Call, index: int, keyword: str) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+class _LiteralVisitor(ast.NodeVisitor):
+    """Validates zone-flavoured literals in one module."""
+
+    def __init__(self, module: SourceModule, tree: SourceTree) -> None:
+        self._module = module
+        self._tree = tree
+        self._docstrings = _docstring_nodes(module.tree)
+        self.findings: List[Finding] = []
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        finding = self._tree.finding(self._module, rule,
+                                     getattr(node, "lineno", 1), message)
+        if finding is not None:
+            self.findings.append(finding)
+
+    def _check_name_literal(self, node: ast.AST, text: str,
+                            allow_at: bool = False) -> None:
+        for problem in name_syntax_issues(text, allow_at=allow_at):
+            self._emit("ZONE002", node, f"name {text!r}: {problem}")
+
+    def _check_ttl_literal(self, node: ast.AST, value: int) -> None:
+        issue = ttl_issue(value)
+        if issue is not None:
+            self._emit("ZONE001", node, issue)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _call_name(node)
+        if callee in ("Name", "from_text") and node.args:
+            text = _literal_str(node.args[0])
+            if text is not None:
+                self._check_name_literal(node, text)
+        elif callee == "derelativize" and node.args:
+            text = _literal_str(node.args[0])
+            if text is not None:
+                self._check_name_literal(node, text, allow_at=True)
+        elif callee == "add_simple":
+            owner = _literal_str(_argument(node, 0, "owner"))
+            if owner is not None:
+                self._check_name_literal(node, owner, allow_at=True)
+            ttl = _argument(node, 3, "ttl")
+            value = _literal_int(ttl) if ttl is not None else None
+            if value is not None:
+                self._check_ttl_literal(node, value)
+        elif callee in ("ResourceRecord", "with_ttl"):
+            index = 2 if callee == "ResourceRecord" else 0
+            ttl = _argument(node, index, "ttl")
+            value = _literal_int(ttl) if ttl is not None else None
+            if value is not None:
+                self._check_ttl_literal(node, value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = _literal_int(node.value)
+        if value is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name) and "TTL" in target.id \
+                        and target.id.isupper():
+                    self._check_ttl_literal(node, value)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (isinstance(node.value, str) and id(node) not in self._docstrings
+                and _looks_like_master_file(node.value)):
+            self.findings.extend(check_master_text(
+                node.value, self._module.rel, node.lineno,
+                expect_soa=False))
+
+
+def check_master_text(text: str, path: str, line: int,
+                      expect_soa: bool = True) -> List[Finding]:
+    """Parse master-file ``text`` and validate the resulting zone."""
+    try:
+        zone = parse_master_file(text)
+    except Exception as exc:
+        return [Finding("ZONE000", path, line,
+                        f"zone data does not parse: {exc}")]
+    return validate_zone(zone, path, line, expect_soa=expect_soa)
+
+
+def analyze(tree: SourceTree) -> List[Finding]:
+    """Run the conformance pass over zone files and Python literals."""
+    findings: List[Finding] = []
+    for path, rel in tree.zone_files:
+        with open(path, "r", encoding="utf-8") as handle:
+            findings.extend(check_master_text(handle.read(), rel, 1,
+                                              expect_soa=True))
+    for module in tree:
+        visitor = _LiteralVisitor(module, tree)
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,184 @@
+"""``repro check`` — run the analyzers, report, gate.
+
+Orchestrates the three analyzers over a source tree, applies the
+baseline, and renders the report as human text or machine JSON (the CI
+artifact).  Exit status: 0 when no new findings, 1 when there are, 2 on
+usage errors — so the command doubles as a merge gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.check import conformance, determinism, layering
+from repro.check.findings import Baseline, Finding
+from repro.check.sources import SourceTree, load_tree
+
+REPORT_VERSION = 1
+
+ANALYZERS: Dict[str, Callable[[SourceTree], List[Finding]]] = {
+    determinism.ANALYZER_NAME: determinism.analyze,
+    layering.ANALYZER_NAME: layering.analyze,
+    conformance.ANALYZER_NAME: conformance.analyze,
+}
+
+#: rule id -> one-line description, across all analyzers.
+ALL_RULES: Dict[str, str] = {
+    "GEN001": "file does not parse",
+    **determinism.RULES, **layering.RULES, **conformance.RULES,
+}
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+class Report:
+    """The outcome of one ``repro check`` run."""
+
+    def __init__(self, findings: List[Finding], baselined: List[Finding],
+                 analyzers: List[str], scanned: int) -> None:
+        #: New findings (after baseline subtraction), sorted by location.
+        self.findings = sorted(findings, key=Finding.sort_key)
+        #: Findings grandfathered by the baseline file.
+        self.baselined = sorted(baselined, key=Finding.sort_key)
+        self.analyzers = analyzers
+        self.scanned = scanned
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed findings remain."""
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Finding counts keyed by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable report (uploaded as a CI artifact)."""
+        return {
+            "version": REPORT_VERSION,
+            "analyzers": self.analyzers,
+            "files_scanned": self.scanned,
+            "summary": self.counts_by_rule(),
+            "baselined": len(self.baselined),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render_json(self) -> str:
+        """The report as pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render_text(self) -> str:
+        """The report as human-readable lines plus a verdict line."""
+        lines = [finding.render() for finding in self.findings]
+        counts = self.counts_by_rule()
+        summary = ", ".join(f"{count} {rule}"
+                            for rule, count in sorted(counts.items()))
+        verdict = ("clean" if self.ok
+                   else f"{len(self.findings)} finding"
+                        f"{'s' if len(self.findings) != 1 else ''}"
+                        f" ({summary})")
+        lines.append(f"repro check: {verdict}; {self.scanned} files via "
+                     f"{'/'.join(self.analyzers)}"
+                     + (f"; {len(self.baselined)} baselined"
+                        if self.baselined else ""))
+        return "\n".join(lines) + "\n"
+
+
+def run_check(paths: Sequence[str] = DEFAULT_PATHS,
+              analyzers: Optional[Sequence[str]] = None,
+              baseline: Optional[Baseline] = None) -> Report:
+    """Run ``analyzers`` (default: all) over ``paths`` and apply ``baseline``."""
+    names = list(analyzers) if analyzers else list(ANALYZERS)
+    unknown = [name for name in names if name not in ANALYZERS]
+    if unknown:
+        raise ValueError(f"unknown analyzer(s): {', '.join(unknown)} "
+                         f"(have: {', '.join(ANALYZERS)})")
+    tree = load_tree(list(paths))
+    findings: List[Finding] = list(tree.errors)
+    for name in names:
+        findings.extend(ANALYZERS[name](tree))
+    baselined: List[Finding] = []
+    if baseline is not None:
+        findings, baselined = baseline.split(findings)
+    return Report(findings, baselined, names,
+                  len(tree) + len(tree.zone_files))
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro check`` flags (shared with ``python -m repro.check``)."""
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to analyse "
+                             "(default: src/repro)")
+    parser.add_argument("--analyzer", action="append",
+                        choices=sorted(ANALYZERS), dest="analyzers",
+                        help="run only this analyzer (repeatable; "
+                             "default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format (default: text)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the JSON report to PATH "
+                             "(the CI artifact)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="suppress findings recorded in this baseline")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="record current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro check`` invocation."""
+    if args.list_rules:
+        for rule, description in sorted(ALL_RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_check(args.paths, analyzers=args.analyzers,
+                           baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        Baseline.from_findings(report.findings
+                               + report.baselined).save(args.write_baseline)
+        print(f"wrote baseline with "
+              f"{len(report.findings) + len(report.baselined)} suppressions "
+              f"to {args.write_baseline}")
+        return 0
+    output = (report.render_json() if args.format == "json"
+              else report.render_text())
+    sys.stdout.write(output)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report.render_json())
+        except OSError as exc:
+            print(f"error: cannot write report to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.check``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Determinism & architecture static analysis for the "
+                    "MEC-CDN reproduction")
+    add_check_arguments(parser)
+    return run_cli(parser.parse_args(argv))

@@ -8,6 +8,8 @@ Subcommands:
 * ``dig <name>`` — run dig-style queries against a chosen Figure 5
   deployment and print each result plus the summary.
 * ``deployments`` — list the six evaluated DNS deployments.
+* ``check`` — the determinism & architecture static-analysis gate
+  (:mod:`repro.check`); exits nonzero on new findings.
 
 Usage examples::
 
@@ -15,6 +17,7 @@ Usage examples::
     python -m repro.cli dig video.demo1.mycdn.ciab.test \
         --deployment mec-ldns-mec-cdns --count 5
     python -m repro.cli deployments
+    python -m repro.cli check --format json --out report.json
 """
 
 from __future__ import annotations
@@ -187,6 +190,11 @@ def _run_dig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import runner as check_runner
+    return check_runner.run_cli(args)
+
+
 def _cmd_deployments(args: argparse.Namespace) -> int:
     for key in DEPLOYMENT_KEYS:
         print(f"{key:22s} {DEPLOYMENT_LABELS[key]}")
@@ -239,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
     dep = sub.add_parser("deployments",
                          help="list the evaluated DNS deployments")
     dep.set_defaults(handler=_cmd_deployments)
+
+    from repro.check.runner import add_check_arguments
+    chk = sub.add_parser("check",
+                         help="determinism & architecture static analysis "
+                              "(exits nonzero on findings)")
+    add_check_arguments(chk)
+    chk.set_defaults(handler=_cmd_check)
     return parser
 
 

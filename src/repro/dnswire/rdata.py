@@ -172,14 +172,14 @@ class _SingleName(Rdata):
         writer.write_name(self.target, compress=False)
 
     @classmethod
-    def from_wire(cls, reader: WireReader, rdlength: int):
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "_SingleName":
         return cls(reader.read_name())
 
     def to_text(self) -> str:
         return self.target.to_text()
 
     @classmethod
-    def from_text(cls, tokens: List[str], origin: Name):
+    def from_text(cls, tokens: List[str], origin: Name) -> "_SingleName":
         from repro.dnswire.name import derelativize
         return cls(derelativize(tokens[0], origin))
 

@@ -17,6 +17,7 @@ front of the chain to implement the public/internal split.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Generator, List, Optional
 
 from repro.dnswire.message import (Message, ResourceRecord, make_query,
@@ -148,18 +149,24 @@ class _ForwardingPluginBase(Plugin):
         self.forward_ecs = forward_ecs
         self.retry_policy = retry_policy
         self._owner: Optional[DnsServer] = None
+        self._retry_rng: Optional[random.Random] = None
         self.forwarded = 0
         self.upstream_retries = 0
 
     def bind(self, owner: DnsServer) -> None:
         self._owner = owner
+        # Backoff jitter draws from a named stream, like every other
+        # stochastic element; without this the jitter was silently
+        # skipped (timeout_for ignored jitter_frac when rng is None).
+        self._retry_rng = owner.network.streams.stream(
+            f"coredns-retry:{owner.name}:{self.name}")
 
     def _forward(self, ctx: QueryContext, upstream: Endpoint) -> Generator:
         assert self._owner is not None, "plugin not bound to a server"
         policy = self.retry_policy
         attempts = 1 + (policy.retries if policy is not None else 0)
         for attempt in range(1, attempts + 1):
-            per_try_timeout = (policy.timeout_for(attempt)
+            per_try_timeout = (policy.timeout_for(attempt, self._retry_rng)
                                if policy is not None else self.timeout)
             query = make_query(ctx.qname, ctx.rtype,
                                msg_id=self._owner.allocate_query_id(),

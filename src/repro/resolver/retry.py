@@ -106,13 +106,23 @@ class RetryPolicy:
 
     def timeout_for(self, attempt: int,
                     rng: Optional[random.Random] = None) -> float:
-        """Timeout (ms) for 1-based ``attempt``, backoff and jitter applied."""
+        """Timeout (ms) for 1-based ``attempt``, backoff and jitter applied.
+
+        A policy configured with jitter demands an explicit RNG stream:
+        silently skipping the jitter when ``rng`` is omitted would both
+        change behaviour and hide a break in the named-stream
+        discipline.
+        """
         if attempt < 1:
             raise ValueError(f"attempt {attempt} must be >= 1")
         timeout = self.timeout_ms * self.backoff ** (attempt - 1)
         if self.max_timeout_ms is not None:
             timeout = min(timeout, self.max_timeout_ms)
-        if self.jitter_frac and rng is not None:
+        if self.jitter_frac:
+            if rng is None:
+                raise ValueError(
+                    "jitter_frac is set but no RNG stream was passed; "
+                    "thread an explicit random.Random stream")
             timeout *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
         return timeout
 

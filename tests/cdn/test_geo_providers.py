@@ -46,20 +46,20 @@ class TestGeo:
 
 class TestGeoIp:
     def test_exact_entry_and_lookup(self):
-        db = GeoIpDatabase()
+        db = GeoIpDatabase(random.Random(0))
         db.register("198.51.100.0/24", ATLANTA, error_km=0)
         assert db.lookup("198.51.100.7") == ATLANTA
         assert db.exact_entry("198.51.100.7") == (ATLANTA, 0)
 
     def test_longest_prefix_wins(self):
-        db = GeoIpDatabase()
+        db = GeoIpDatabase(random.Random(0))
         db.register("198.51.0.0/16", NYC, error_km=0)
         db.register("198.51.100.0/24", ATLANTA, error_km=0)
         assert db.lookup("198.51.100.7") == ATLANTA
         assert db.lookup("198.51.5.1") == NYC
 
     def test_unknown_ip_returns_none(self):
-        db = GeoIpDatabase()
+        db = GeoIpDatabase(random.Random(0))
         assert db.lookup("8.8.8.8") is None
         assert db.unknown == 1
 
@@ -72,7 +72,7 @@ class TestGeoIp:
 
     def test_negative_error_rejected(self):
         with pytest.raises(ValueError):
-            GeoIpDatabase().register("10.0.0.0/8", ATLANTA, error_km=-1)
+            GeoIpDatabase(random.Random(0)).register("10.0.0.0/8", ATLANTA, error_km=-1)
 
 
 class TestProviders:

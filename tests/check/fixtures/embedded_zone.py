@@ -1,0 +1,11 @@
+"""Fixture: embedded master-file text carrying a duplicate CNAME.
+
+Parsed (never imported) by conformance tests: the string constant below
+must be recognised as zone data and yield exactly one ZONE003 finding.
+"""
+
+EMBEDDED_ZONE = """
+$ORIGIN embedded.test.
+alias 300 IN CNAME a.embedded.test.
+alias 300 IN CNAME b.embedded.test.
+"""

@@ -1,0 +1,141 @@
+"""Tests for the ZONE conformance pass."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.check import conformance
+from repro.check.conformance import (
+    MAX_TTL_VALUE,
+    name_syntax_issues,
+    ttl_issue,
+    validate_zone,
+)
+from repro.check.sources import load_tree
+from repro.dnswire import A, CNAME, Name, RecordType, ResourceRecord
+from repro.dnswire.zone import zone_from_records
+
+ZONES = pathlib.Path(__file__).parent / "fixtures" / "zones"
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def zone_rules(filename):
+    findings = conformance.analyze(load_tree([str(ZONES / filename)]))
+    return sorted(finding.rule for finding in findings)
+
+
+class TestNameSyntax:
+    @pytest.mark.parametrize("name", [
+        "", ".", "example.test.", "www.example.test",
+        "*.wild.example.test.", "_dns.example.test.",
+        "1.0.0.10.in-addr.arpa.",
+    ])
+    def test_valid(self, name):
+        assert name_syntax_issues(name) == []
+
+    @pytest.mark.parametrize("name", [
+        "-lead.example.test.", "trail-.example.test.",
+        "mid.*.example.test.", "double..dot.test.",
+        "x" * 64 + ".test.",
+        ".".join(["a" * 60] * 5) + ".",  # > 255 octets on the wire
+        "bang!.example.test.",
+    ])
+    def test_invalid(self, name):
+        assert name_syntax_issues(name) != []
+
+    def test_at_only_for_owners(self):
+        assert name_syntax_issues("@", allow_at=True) == []
+        assert name_syntax_issues("@") != []
+
+
+class TestTtl:
+    def test_range(self):
+        assert ttl_issue(0) is None
+        assert ttl_issue(MAX_TTL_VALUE) is None
+        assert ttl_issue(-1) is not None
+        assert ttl_issue(MAX_TTL_VALUE + 1) is not None
+
+
+class TestZoneFiles:
+    def test_good_zone_clean(self):
+        assert zone_rules("good.zone") == []
+
+    def test_bad_ttl(self):
+        assert "ZONE001" in zone_rules("bad_ttl.zone")
+
+    def test_bad_names(self):
+        rules = zone_rules("bad_names.zone")
+        assert rules.count("ZONE002") == 2  # leading hyphen + mid wildcard
+
+    def test_double_cname(self):
+        assert "ZONE003" in zone_rules("double_cname.zone")
+
+    def test_missing_soa(self):
+        assert zone_rules("missing_soa.zone") == ["ZONE005"]
+
+    def test_unparseable(self):
+        assert zone_rules("unparseable.zone") == ["ZONE000"]
+
+
+class TestEmbeddedText:
+    def test_embedded_master_text_scanned(self):
+        findings = conformance.analyze(
+            load_tree([str(FIXTURES / "embedded_zone.py")]))
+        assert sorted(finding.rule for finding in findings) == ["ZONE003"]
+
+    def test_docstring_mentioning_origin_ignored(self, tmp_path):
+        path = tmp_path / "doc.py"
+        path.write_text('"""Explains $ORIGIN and $TTL directives.\n\n'
+                        'More prose.\n"""\n')
+        assert conformance.analyze(load_tree([str(path)])) == []
+
+
+class TestLiteralScanning:
+    def test_bad_owner_and_ttl_literals(self, tmp_path):
+        path = tmp_path / "build.py"
+        path.write_text(textwrap.dedent("""\
+            def build(zone, rtype, rdata):
+                zone.add_simple("double..dot", rtype, rdata, ttl=-5)
+        """))
+        findings = conformance.analyze(load_tree([str(path)]))
+        assert sorted(finding.rule for finding in findings) == \
+            ["ZONE001", "ZONE002"]
+
+    def test_name_constructor_literal(self, tmp_path):
+        path = tmp_path / "names.py"
+        path.write_text("from repro.dnswire import Name\n"
+                        "BAD = Name('-nope.example.test.')\n")
+        findings = conformance.analyze(load_tree([str(path)]))
+        assert [finding.rule for finding in findings] == ["ZONE002"]
+
+    def test_ttl_constant_assignment(self, tmp_path):
+        path = tmp_path / "consts.py"
+        path.write_text("HUGE_TTL = 4000000000\n")
+        findings = conformance.analyze(load_tree([str(path)]))
+        assert [finding.rule for finding in findings] == ["ZONE001"]
+
+
+class TestValidateZone:
+    def test_cname_at_apex(self):
+        zone = zone_from_records("apex.test", [
+            ResourceRecord(Name("apex.test"), RecordType.CNAME, 300,
+                           CNAME(Name("other.test")))])
+        findings = validate_zone(zone, "apex.test", 1, expect_soa=False)
+        assert [finding.rule for finding in findings] == ["ZONE003"]
+
+    def test_wire_round_trip_clean(self):
+        zone = zone_from_records("rt.test", [
+            ResourceRecord(Name("www.rt.test"), RecordType.A, 300,
+                           A("192.0.2.1")),
+            ResourceRecord(Name("www2.rt.test"), RecordType.A, 300,
+                           A("192.0.2.2"))])
+        assert validate_zone(zone, "rt.test", 1, expect_soa=False) == []
+
+    def test_negative_ttl_record(self):
+        zone = zone_from_records("neg.test", [
+            ResourceRecord(Name("www.neg.test"), RecordType.A, -1,
+                           A("192.0.2.1"))])
+        findings = validate_zone(zone, "neg.test", 1, expect_soa=False)
+        rules = [finding.rule for finding in findings]
+        assert "ZONE001" in rules  # (wire encoding also fails: ZONE004)

@@ -1,0 +1,112 @@
+"""Tests for the DET determinism linter."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.check import determinism
+from repro.check.sources import load_tree
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint(code, tmp_path):
+    """Rules triggered by ``code``, as a sorted list of rule ids."""
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(code))
+    findings = determinism.analyze(load_tree([str(path)]))
+    return sorted(finding.rule for finding in findings)
+
+
+class TestRules:
+    @pytest.mark.parametrize("code", [
+        "import time\nnow = time.time()\n",
+        "from time import monotonic\nnow = monotonic()\n",
+        "import time as t\nnow = t.perf_counter()\n",
+        "from datetime import datetime\nstamp = datetime.now()\n",
+        "import datetime\nstamp = datetime.datetime.utcnow()\n",
+    ])
+    def test_det001_wall_clock(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["DET001"]
+
+    @pytest.mark.parametrize("code", [
+        "import os\nnoise = os.urandom(16)\n",
+        "import uuid\ntoken = uuid.uuid4()\n",
+        "import secrets\ntoken = secrets.token_bytes(8)\n",
+        "import random\nrng = random.SystemRandom()\n",
+    ])
+    def test_det002_entropy(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["DET002"]
+
+    @pytest.mark.parametrize("code", [
+        "import random\nvalue = random.random()\n",
+        "import random\nvalue = random.choice([1, 2])\n",
+        "from random import shuffle\nshuffle([])\n",
+        "import random\nrandom.seed(7)\n",
+    ])
+    def test_det003_module_level_draw(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["DET003"]
+
+    def test_det004_unseeded_random(self, tmp_path):
+        assert lint("import random\nrng = random.Random()\n",
+                    tmp_path) == ["DET004"]
+
+    def test_seeded_random_is_fine(self, tmp_path):
+        assert lint("import random\nrng = random.Random(42)\n",
+                    tmp_path) == []
+
+    @pytest.mark.parametrize("code", [
+        "import random\n\ndef f(rng=None):\n    return rng or random.Random(0)\n",
+        "import random\n\ndef f(rng=None):\n"
+        "    return rng if rng else random.Random(0)\n",
+        "import random\n\ndef f(rng=random.Random(0)):\n    return rng\n",
+    ])
+    def test_det005_hidden_default(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["DET005"]
+
+    @pytest.mark.parametrize("code", [
+        "for item in {1, 2, 3}:\n    print(item)\n",
+        "items = list(set([3, 1, 2]))\n",
+        "items = [x for x in set([1, 2])]\n",
+        "text = ','.join({'b', 'a'})\n",
+    ])
+    def test_det006_set_order(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["DET006"]
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        assert lint("items = sorted(set([3, 1, 2]))\n", tmp_path) == []
+
+    def test_instance_stream_draw_is_fine(self, tmp_path):
+        code = ("import random\n\n"
+                "def f(rng: random.Random):\n"
+                "    return rng.uniform(0, 1)\n")
+        assert lint(code, tmp_path) == []
+
+
+class TestSuppression:
+    def test_inline_allow_suppresses(self, tmp_path):
+        code = ("import time\n"
+                "now = time.time()  # repro: allow[DET001] calibration only\n")
+        assert lint(code, tmp_path) == []
+
+    def test_inline_allow_is_rule_specific(self, tmp_path):
+        code = ("import time\n"
+                "now = time.time()  # repro: allow[DET002]\n")
+        assert lint(code, tmp_path) == ["DET001"]
+
+
+class TestFixtureFile:
+    def test_known_violations(self):
+        findings = determinism.analyze(
+            load_tree([str(FIXTURES / "det_violations.py")]))
+        rules = sorted(finding.rule for finding in findings)
+        assert rules == ["DET001", "DET002", "DET002", "DET003",
+                         "DET004", "DET005", "DET006"]
+
+    def test_suppressed_line_absent(self):
+        findings = determinism.analyze(
+            load_tree([str(FIXTURES / "det_violations.py")]))
+        det001 = [finding for finding in findings
+                  if finding.rule == "DET001"]
+        assert len(det001) == 1  # the suppressed second read is absent

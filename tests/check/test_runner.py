@@ -1,0 +1,122 @@
+"""End-to-end tests for the ``repro check`` runner and baseline flow."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.check import runner
+from repro.check.findings import Baseline
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+VIOLATION = "import time\nnow = time.time()\n"
+
+
+def write_violation(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(VIOLATION)
+    return path
+
+
+class TestRunCheck:
+    def test_clean_tree_acceptance(self):
+        # The merge gate of this PR: src/repro itself must be clean.
+        report = runner.run_check([str(ROOT / "src" / "repro")])
+        assert report.ok, report.render_text()
+        assert report.findings == []
+        assert report.scanned > 50
+
+    def test_violation_reported(self, tmp_path):
+        write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)])
+        assert not report.ok
+        assert report.counts_by_rule() == {"DET001": 1}
+
+    def test_analyzer_selection(self, tmp_path):
+        write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)], analyzers=["layering"])
+        assert report.ok  # determinism analyzer not selected
+
+    def test_unknown_analyzer_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            runner.run_check([str(tmp_path)], analyzers=["spellcheck"])
+
+    def test_syntax_error_is_gen001(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = runner.run_check([str(tmp_path)])
+        assert report.counts_by_rule() == {"GEN001": 1}
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert runner.main([str(ROOT / "src" / "repro")]) == 0
+        out = capsys.readouterr().out
+        assert "repro check: clean" in out
+
+    def test_exit_one_on_violation_fixture(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        assert runner.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_exit_two_on_bad_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert runner.main([str(tmp_path), "--baseline", str(bad)]) == 2
+
+    def test_json_format_and_out_artifact(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        out_path = tmp_path / "report.json"
+        code = runner.main([str(tmp_path), "--format", "json",
+                            "--out", str(out_path)])
+        assert code == 1
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(out_path.read_text())
+        assert stdout_doc == file_doc
+        assert file_doc["version"] == 1
+        assert file_doc["summary"] == {"DET001": 1}
+        assert file_doc["findings"][0]["rule"] == "DET001"
+        assert set(file_doc) == {"version", "analyzers", "files_scanned",
+                                 "summary", "baselined", "findings"}
+
+    def test_list_rules(self, capsys):
+        assert runner.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("DET001", "ARCH001", "ZONE001", "GEN001"):
+            assert rule in out
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_suppress_then_regress(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+
+        # 1. Record the current findings as the baseline: exits 0.
+        assert runner.main([str(tmp_path), "--write-baseline",
+                            str(baseline_path)]) == 0
+        capsys.readouterr()
+
+        # 2. Re-running against the baseline is clean (finding grandfathered).
+        assert runner.main([str(tmp_path), "--baseline",
+                            str(baseline_path), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["baselined"] == 1
+        assert doc["findings"] == []
+
+        # 3. A NEW violation still fails the gate.
+        (tmp_path / "worse.py").write_text(
+            "import os\nnoise = os.urandom(4)\n")
+        assert runner.main([str(tmp_path), "--baseline",
+                            str(baseline_path)]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        path = write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)])
+        baseline = Baseline.from_findings(report.findings)
+        # The same violation on a different line is still grandfathered.
+        path.write_text("import time\n\n\nnow = time.time()\n")
+        shifted = runner.run_check([str(tmp_path)], baseline=baseline)
+        assert shifted.ok
+        assert len(shifted.baselined) == 1

@@ -101,3 +101,24 @@ class TestTelemetryExports:
         from repro import telemetry
         assert main(["dig", "--count", "1"]) == 0
         assert telemetry.get_default() is None
+
+
+class TestCheckCommand:
+    def test_parser_accepts_check_flags(self):
+        args = build_parser().parse_args(
+            ["check", "src/repro", "--analyzer", "determinism",
+             "--format", "json"])
+        assert args.paths == ["src/repro"]
+        assert args.analyzers == ["determinism"]
+        assert args.format == "json"
+
+    def test_check_clean_on_own_source(self, capsys):
+        import pathlib
+        src = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+        assert main(["check", str(src)]) == 0
+        assert "repro check: clean" in capsys.readouterr().out
+
+    def test_check_fails_on_violation(self, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("import time\nt = time.time()\n")
+        assert main(["check", str(tmp_path)]) == 1
+        assert "DET001" in capsys.readouterr().out
