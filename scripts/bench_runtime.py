@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Benchmark the experiment runtime: serial vs. sharded wall-clock.
+
+Runs representative artifacts through :class:`repro.runtime.TrialExecutor`
+with ``jobs=1`` and ``jobs=2``, verifies the digests match (the whole
+point of the runtime is that sharding never changes the output), and
+records honest wall-clock numbers into ``BENCH_runtime.json``:
+
+    PYTHONPATH=src python scripts/bench_runtime.py [--out BENCH_runtime.json]
+
+Wall-clock timing lives here, outside ``src/repro``, on purpose — the
+library stays free of real-time reads so ``repro check``'s determinism
+linter keeps its zero-findings guarantee.  On a single-core box the
+sharded run is expected to be no faster (fork + pickle overhead, no
+parallelism to win back); the file records ``cpu_count`` so readers can
+interpret the speedup column.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.registry import builtin_registry  # noqa: E402
+from repro.runtime import TrialExecutor, result_digest  # noqa: E402
+
+#: (artifact, overrides) pairs: one latency-bound sweep with many small
+#: trials, one heavyweight sweep with few large trials.
+CASES = (
+    ("figure5", {"queries": 20}),
+    ("resilience", {"queries": 6}),
+)
+JOBS = 2
+
+
+def _timed_run(experiment, overrides, jobs):
+    started = time.perf_counter()
+    run = TrialExecutor(jobs=jobs).run(experiment, overrides)
+    elapsed = time.perf_counter() - started
+    if not run.ok:
+        for failure in run.failures:
+            print(f"  FAILED {failure.describe()}", file=sys.stderr)
+        raise SystemExit(f"{experiment.name} failed with jobs={jobs}")
+    return elapsed, result_digest(run.result)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    args = parser.parse_args()
+
+    registry = builtin_registry()
+    results = []
+    for name, overrides in CASES:
+        experiment = registry.get(name)
+        trials = len(experiment.trials(experiment.resolve_params(overrides)))
+        print(f"{name}: {trials} trials, overrides={overrides}")
+        serial_s, serial_digest = _timed_run(experiment, overrides, 1)
+        print(f"  jobs=1: {serial_s:.2f} s")
+        sharded_s, sharded_digest = _timed_run(experiment, overrides, JOBS)
+        print(f"  jobs={JOBS}: {sharded_s:.2f} s")
+        if sharded_digest != serial_digest:
+            raise SystemExit(f"{name}: sharded digest diverged from serial "
+                             f"({sharded_digest} != {serial_digest})")
+        print(f"  digests match ({serial_digest[:12]}...)")
+        results.append({
+            "experiment": name,
+            "overrides": {key: value for key, value in overrides.items()},
+            "trials": trials,
+            "serial_s": round(serial_s, 3),
+            f"jobs{JOBS}_s": round(sharded_s, 3),
+            "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
+            "digest": serial_digest,
+        })
+
+    document = {
+        "benchmark": "repro.runtime serial vs sharded execution",
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

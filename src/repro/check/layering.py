@@ -46,13 +46,13 @@ RULES: Dict[str, str] = {
 #: scheduler or mutate simulation state.
 SIM_LAYERS = frozenset({
     "netsim", "faults", "resolver", "cdn", "mobile", "mec", "core",
-    "measure", "experiments", "cli",
+    "measure", "runtime", "experiments", "cli",
 })
 
 _EVERYTHING = frozenset({
     "errors", "dnswire", "netsim", "telemetry", "faults", "resolver",
-    "cdn", "mobile", "mec", "core", "measure", "experiments", "check",
-    "cli",
+    "cdn", "mobile", "mec", "core", "measure", "runtime", "experiments",
+    "check", "cli",
 })
 
 #: layer -> layers it may import.  Top-level modules (``cli``,
@@ -73,6 +73,10 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
                        "resolver", "cdn", "mobile", "mec"}),
     "measure": frozenset({"errors", "dnswire", "netsim", "telemetry",
                           "resolver", "core"}),
+    # The execution runtime is generic machinery: it may see telemetry
+    # (per-trial capture) but never the experiments that plug into it --
+    # workers receive pickled Experiment instances, not module imports.
+    "runtime": frozenset({"errors", "telemetry"}),
     "experiments": _EVERYTHING - frozenset({"cli", "check"}),
     "check": frozenset({"errors", "dnswire"}),
     "cli": _EVERYTHING,

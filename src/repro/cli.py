@@ -2,18 +2,26 @@
 
 Subcommands:
 
-* ``experiment <artifact>`` — regenerate a paper artifact (``table1``,
-  ``table2``, ``figure2``, ``figure3``, ``figure5``, ``ecs``,
-  ``mislocalization``) or ``all``.
+* ``experiment <artifact>`` — regenerate a paper artifact through the
+  experiment registry (``table1``, ``figure5``, ``resilience``, ...)
+  or ``all``.  ``--jobs N`` shards each artifact's trial plan over a
+  process pool; serial and sharded runs print byte-identical output.
 * ``dig <name>`` — run dig-style queries against a chosen Figure 5
   deployment and print each result plus the summary.
 * ``deployments`` — list the six evaluated DNS deployments.
 * ``check`` — the determinism & architecture static-analysis gate
   (:mod:`repro.check`); exits nonzero on new findings.
 
+The artifact list and every experiment flag (``--trials``,
+``--queries``, ``--seed``, ``--attack-qps``, ...) come out of the
+:class:`~repro.runtime.ExperimentRegistry` — artifacts declare their
+parameters, the CLI just renders them; there is no per-artifact
+dispatch chain to keep in lockstep.
+
 Usage examples::
 
     python -m repro.cli experiment figure5 --queries 40
+    python -m repro.cli experiment all --jobs 4
     python -m repro.cli dig video.demo1.mycdn.ciab.test \
         --deployment mec-ldns-mec-cdns --count 5
     python -m repro.cli deployments
@@ -33,67 +41,37 @@ from repro.core.deployments import (
 )
 from repro.measure import measure_deployment_queries, summarize
 
-_ARTIFACTS = ("table1", "table2", "figure2", "figure3", "figure5", "ecs",
-              "mislocalization", "disaggregation", "envelope-sweep",
-              "overload", "access-latency", "capacity", "resilience")
+_registry = None
 
 
-def _run_experiment(name: str, args: argparse.Namespace) -> None:
-    from repro import experiments
-    from repro.experiments import (figure2, figure3, figure5, ecs,
-                                   mislocalization, disaggregation,
-                                   envelope_sweep, overload)
-    if name == "table1":
-        print(experiments.run_table1().render())
-        return
-    if name == "table2":
-        print(experiments.run_table2().render())
-        return
-    if name == "figure2":
-        result = experiments.run_figure2(trials=args.trials, seed=args.seed)
-        checker = figure2.check_shape
-    elif name == "figure3":
-        result = experiments.run_figure3(trials=args.trials, seed=args.seed)
-        checker = figure3.check_shape
-    elif name == "figure5":
-        result = experiments.run_figure5(queries=args.queries,
-                                         seed=args.seed)
-        print(result.render_chart())
-        print()
-        checker = figure5.check_shape
-    elif name == "ecs":
-        result = experiments.run_ecs(queries=args.queries, seed=args.seed)
-        checker = ecs.check_shape
-    elif name == "disaggregation":
-        result = experiments.run_disaggregation(seed=args.seed)
-        checker = disaggregation.check_shape
-    elif name == "envelope-sweep":
-        result = experiments.run_envelope_sweep(queries=args.queries,
-                                                seed=args.seed)
-        checker = envelope_sweep.check_shape
-    elif name == "overload":
-        result = experiments.run_overload(seed=args.seed)
-        checker = overload.check_shape
-    elif name == "access-latency":
-        from repro.experiments import access_latency
-        result = experiments.run_access_latency(seed=args.seed)
-        checker = access_latency.check_shape
-    elif name == "capacity":
-        from repro.experiments import capacity
-        result = experiments.run_capacity(seed=args.seed)
-        checker = capacity.check_shape
-    elif name == "resilience":
-        from repro.experiments import resilience
-        result = experiments.run_resilience(queries=args.queries,
-                                            seed=args.seed)
-        checker = resilience.check_shape
-    else:
-        result = experiments.run_mislocalization(trials=args.trials,
-                                                 seed=args.seed)
-        checker = mislocalization.check_shape
-    print(result.render())
-    violations = checker(result)
-    print(f"shape claims: {'ALL HOLD' if not violations else violations}")
+def _get_registry():
+    """The built-in experiment registry (imported lazily, built once)."""
+    global _registry
+    if _registry is None:
+        from repro.experiments.registry import builtin_registry
+        _registry = builtin_registry()
+    return _registry
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> int:
+    """Run one registered artifact; returns 0 unless a trial crashed."""
+    from repro.runtime import TrialExecutor
+    experiment = _get_registry().get(name)
+    overrides = {param.name: getattr(args, param.name)
+                 for param in experiment.params if param.cli}
+    run = TrialExecutor(jobs=args.jobs).run(experiment, overrides)
+    if run.failures:
+        print(f"error: {len(run.failures)} of {len(run.outcomes)} trials "
+              f"failed for {name}:", file=sys.stderr)
+        for failure in run.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        print(run.failures[0].traceback, file=sys.stderr)
+        return 1
+    print(experiment.render_result(run.result))
+    if experiment.shape_checked:
+        violations = experiment.check_shape(run.result)
+        print(f"shape claims: {'ALL HOLD' if not violations else violations}")
+    return 0
 
 
 def _maybe_install_telemetry(args: argparse.Namespace):
@@ -146,16 +124,18 @@ def _export_telemetry(tel, args: argparse.Namespace) -> None:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     tel = _maybe_install_telemetry(args)
+    status = 0
     try:
-        names = list(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+        names = (_get_registry().names() if args.artifact == "all"
+                 else [args.artifact])
         for index, name in enumerate(names):
             if index:
                 print()
-            _run_experiment(name, args)
+            status = _run_experiment(name, args) or status
     finally:
         if tel is not None:
             _export_telemetry(tel, args)
-    return 0
+    return status
 
 
 def _cmd_dig(args: argparse.Namespace) -> int:
@@ -209,13 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "(HotNets 2020)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    registry = _get_registry()
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
-    exp.add_argument("artifact", choices=_ARTIFACTS + ("all",))
-    exp.add_argument("--trials", type=int, default=25,
-                     help="tests per bar for figure2/figure3/mislocalization")
-    exp.add_argument("--queries", type=int, default=40,
-                     help="queries per bar for figure5/ecs")
-    exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument("artifact", choices=tuple(registry.names()) + ("all",))
+    registry.add_cli_arguments(exp)
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes per artifact (1 = in-process "
+                          "serial; output is identical either way)")
     exp.add_argument("--trace-out", metavar="PATH",
                      help="write a Chrome trace_event JSON of every "
                           "query's spans (open in about:tracing/Perfetto)")

@@ -25,6 +25,7 @@ from repro.core.deployments import (
 from repro.experiments.report import format_table
 from repro.measure.runner import measure_deployment_queries
 from repro.measure.stats import summarize
+from repro.runtime import Experiment, Param
 
 DEFAULT_ROUNDS = 12
 #: The paper's motivating budget for AR/VR-class applications.
@@ -90,11 +91,38 @@ def _measure_deployment(key: str, rounds: int, seed: int) -> AccessLatencyRow:
         cache_hit_rate=hits / len(fetches))
 
 
+class AccessLatencyExperiment(Experiment):
+    """One trial per deployment: DNS series plus cached-content fetches."""
+
+    name = "access-latency"
+    title = "End-to-end content access latency per deployment"
+    params = (Param("rounds", int, DEFAULT_ROUNDS,
+                    "measured rounds per deployment"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        return [self.spec(index, seed=int(params["seed"]), key=key,
+                          rounds=int(params["rounds"]))
+                for index, key in enumerate(DEPLOYMENT_KEYS)]
+
+    def run_trial(self, spec):
+        return _measure_deployment(str(spec.value("key")),
+                                   int(spec.value("rounds")), spec.seed)
+
+    def merge(self, params, payloads):
+        return AccessLatencyResult(rows=list(payloads),
+                                   rounds=int(params["rounds"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = AccessLatencyExperiment()
+
+
 def run(rounds: int = DEFAULT_ROUNDS, seed: int = 42) -> AccessLatencyResult:
     """Run the experiment and return its structured result."""
-    rows = [_measure_deployment(key, rounds, seed)
-            for key in DEPLOYMENT_KEYS]
-    return AccessLatencyResult(rows=rows, rounds=rounds)
+    return EXPERIMENT.run_serial(rounds=rounds, seed=seed)
 
 
 def check_shape(result: AccessLatencyResult) -> List[str]:

@@ -26,6 +26,7 @@ from repro.netsim.network import Network
 from repro.netsim.packet import Endpoint
 from repro.netsim.rand import RandomStreams
 from repro.resolver.authoritative import AuthoritativeServer
+from repro.runtime import Experiment, Param
 
 CDN_DOMAIN = "mycdn.ciab.test"
 CONTENT = Name(f"video.demo1.{CDN_DOMAIN}")
@@ -80,14 +81,26 @@ class CapacityResult(NamedTuple):
                   f"saturation onset: {saturation}")
 
 
-def run(rates: Sequence[float] = DEFAULT_RATES,
-        duration_ms: float = DEFAULT_DURATION_MS,
-        seed: int = 0) -> CapacityResult:
-    """Run the load sweep; each rate gets a fresh server (no carryover)."""
-    points: List[LoadResult] = []
-    for rate in rates:
+class CapacityExperiment(Experiment):
+    """One trial per offered rate; each gets a fresh server."""
+
+    name = "capacity"
+    title = "MEC DNS capacity curve under increasing offered load"
+    params = (Param("duration_ms", float, DEFAULT_DURATION_MS,
+                    "load duration per rate (ms)"),
+              Param("seed", int, 42, "base RNG seed"),
+              Param("rates", tuple, DEFAULT_RATES,
+                    "offered rates (qps)", cli=False))
+
+    def trials(self, params):
+        return [self.spec(index, seed=int(params["seed"]),
+                          rate=float(rate),
+                          duration_ms=float(params["duration_ms"]))
+                for index, rate in enumerate(params["rates"])]
+
+    def run_trial(self, spec):
         sim = Simulator()
-        net = Network(sim, RandomStreams(seed))
+        net = Network(sim, RandomStreams(spec.seed))
         from repro.core.deployments import _attach_ambient_telemetry
         _attach_ambient_telemetry(net)
         net.add_host("mec-dns", "10.96.0.10")
@@ -96,15 +109,33 @@ def run(rates: Sequence[float] = DEFAULT_RATES,
         AuthoritativeServer(net, net.host("mec-dns"), [_zone()],
                             processing_delay=Constant(SERVICE_MS),
                             workers=WORKERS, max_queue=128)
-        points.append(run_load(net, net.host("clients"),
-                               Endpoint("10.96.0.10", 53), CONTENT,
-                               offered_qps=rate, duration_ms=duration_ms,
-                               reply_timeout_ms=1000.0))
-    saturation = next((point.offered_qps for point in points
-                       if point.loss_rate > 0.01), None)
-    return CapacityResult(points=points,
-                          nominal_capacity_qps=NOMINAL_CAPACITY_QPS,
-                          saturation_qps=saturation)
+        return run_load(net, net.host("clients"),
+                        Endpoint("10.96.0.10", 53), CONTENT,
+                        offered_qps=float(spec.value("rate")),
+                        duration_ms=float(spec.value("duration_ms")),
+                        reply_timeout_ms=1000.0)
+
+    def merge(self, params, payloads):
+        points = list(payloads)
+        saturation = next((point.offered_qps for point in points
+                           if point.loss_rate > 0.01), None)
+        return CapacityResult(points=points,
+                              nominal_capacity_qps=NOMINAL_CAPACITY_QPS,
+                              saturation_qps=saturation)
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = CapacityExperiment()
+
+
+def run(rates: Sequence[float] = DEFAULT_RATES,
+        duration_ms: float = DEFAULT_DURATION_MS,
+        seed: int = 0) -> CapacityResult:
+    """Run the load sweep; each rate gets a fresh server (no carryover)."""
+    return EXPERIMENT.run_serial(rates=tuple(rates),
+                                 duration_ms=duration_ms, seed=seed)
 
 
 def check_shape(result: CapacityResult) -> List[str]:

@@ -19,6 +19,7 @@ from repro.core.deployments import DEPLOYMENT_LABELS, build_testbed
 from repro.experiments.report import format_table
 from repro.measure.runner import measure_deployment_queries
 from repro.measure.stats import summarize
+from repro.runtime import Experiment, Param
 
 #: The three deployments the paper evaluates ECS on.
 ECS_DEPLOYMENTS = (
@@ -69,13 +70,30 @@ class EcsResult(NamedTuple):
             title=f"ECS sensitivity ({self.queries} queries/config)")
 
 
-def run(queries: int = 40, seed: int = 42) -> EcsResult:
-    """Run the experiment and return its structured result."""
-    rows: List[EcsRow] = []
-    for key in ECS_DEPLOYMENTS:
-        baseline_tb = build_testbed(key, seed=seed, ecs=False)
+class EcsExperiment(Experiment):
+    """One trial per deployment; each measures with and without ECS.
+
+    The pair shares one cell (same seed, same query count) because the
+    ratio is only meaningful between testbeds built identically — the
+    paper's "ECS changed the measurements by ..." comparison.
+    """
+
+    name = "ecs"
+    title = "§4 ECS sensitivity on the first three deployments"
+    params = (Param("queries", int, 40, "queries per configuration"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        return [self.spec(index, seed=int(params["seed"]), key=key,
+                          queries=int(params["queries"]))
+                for index, key in enumerate(ECS_DEPLOYMENTS)]
+
+    def run_trial(self, spec):
+        key = str(spec.value("key"))
+        queries = int(spec.value("queries"))
+        baseline_tb = build_testbed(key, seed=spec.seed, ecs=False)
         baseline = measure_deployment_queries(baseline_tb, queries)
-        ecs_tb = build_testbed(key, seed=seed, ecs=True)
+        ecs_tb = build_testbed(key, seed=spec.seed, ecs=True)
         with_ecs = measure_deployment_queries(ecs_tb, queries)
         baseline_mean = summarize([m.latency_ms for m in baseline]).mean
         ecs_mean = summarize([m.latency_ms for m in with_ecs]).mean
@@ -83,15 +101,29 @@ def run(queries: int = 40, seed: int = 42) -> EcsResult:
             m.status == "NOERROR" and m.addresses
             and m.addresses[0] in ecs_tb.expected_cache_ips
             for m in with_ecs)
-        rows.append(EcsRow(
+        return EcsRow(
             key=key,
             label=DEPLOYMENT_LABELS[key],
             baseline_mean=baseline_mean,
             ecs_mean=ecs_mean,
             ratio=ecs_mean / baseline_mean,
             paper_ratio=PAPER_RATIOS[key],
-            always_correct_cache=correct))
-    return EcsResult(rows=rows, queries=queries)
+            always_correct_cache=correct)
+
+    def merge(self, params, payloads):
+        return EcsResult(rows=list(payloads),
+                         queries=int(params["queries"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = EcsExperiment()
+
+
+def run(queries: int = 40, seed: int = 42) -> EcsResult:
+    """Run the experiment and return its structured result."""
+    return EXPERIMENT.run_serial(queries=queries, seed=seed)
 
 
 def check_shape(result: EcsResult) -> List[str]:

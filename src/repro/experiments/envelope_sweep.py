@@ -21,6 +21,7 @@ from repro.core.deployments import build_custom_cdns_testbed
 from repro.experiments.report import format_table
 from repro.measure.runner import measure_deployment_queries
 from repro.measure.stats import summarize
+from repro.runtime import Experiment, Param
 
 ENVELOPE_MS = 20.0
 DEFAULT_DISTANCES = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 20.0, 30.0)
@@ -54,22 +55,52 @@ class EnvelopeSweepResult(NamedTuple):
         return table + f"\n20 ms envelope crossover: {crossover}"
 
 
+class EnvelopeSweepExperiment(Experiment):
+    """One trial per C-DNS distance; crossover is computed in merge."""
+
+    name = "envelope-sweep"
+    title = "Envelope sweep: C-DNS distance vs. the 20 ms envelope"
+    params = (Param("queries", int, 40, "queries per sweep point"),
+              Param("seed", int, 42, "base RNG seed"),
+              Param("distances", tuple, DEFAULT_DISTANCES,
+                    "C-DNS one-way distances (ms)", cli=False))
+
+    def trials(self, params):
+        return [self.spec(index, seed=int(params["seed"]),
+                          distance=float(distance),
+                          queries=int(params["queries"]))
+                for index, distance in enumerate(params["distances"])]
+
+    def run_trial(self, spec):
+        distance = float(spec.value("distance"))
+        testbed = build_custom_cdns_testbed(distance, seed=spec.seed)
+        measurements = measure_deployment_queries(
+            testbed, int(spec.value("queries")))
+        mean = summarize([m.latency_ms for m in measurements]).mean
+        return SweepPoint(
+            cdns_one_way_ms=distance,
+            mean_latency_ms=mean,
+            within_envelope=mean < ENVELOPE_MS)
+
+    def merge(self, params, payloads):
+        points = list(payloads)
+        return EnvelopeSweepResult(
+            points=points, queries=int(params["queries"]),
+            crossover_one_way_ms=_crossover(points))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = EnvelopeSweepExperiment()
+
+
 def run(distances: Sequence[float] = DEFAULT_DISTANCES,
         queries: int = DEFAULT_QUERIES,
         seed: int = 42) -> EnvelopeSweepResult:
     """Run the experiment and return its structured result."""
-    points: List[SweepPoint] = []
-    for distance in distances:
-        testbed = build_custom_cdns_testbed(distance, seed=seed)
-        measurements = measure_deployment_queries(testbed, queries)
-        mean = summarize([m.latency_ms for m in measurements]).mean
-        points.append(SweepPoint(
-            cdns_one_way_ms=distance,
-            mean_latency_ms=mean,
-            within_envelope=mean < ENVELOPE_MS))
-    return EnvelopeSweepResult(
-        points=points, queries=queries,
-        crossover_one_way_ms=_crossover(points))
+    return EXPERIMENT.run_serial(distances=tuple(distances),
+                                 queries=queries, seed=seed)
 
 
 def _crossover(points: List[SweepPoint]) -> Optional[float]:

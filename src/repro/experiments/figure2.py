@@ -20,6 +20,7 @@ from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES
 from repro.experiments.public_internet import PublicInternetScenario
 from repro.experiments.report import format_table
 from repro.measure.stats import SummaryStats, summarize
+from repro.runtime import Experiment, Param, derive_seed
 
 #: Matches the paper's "at least 12 tests" with margin.
 DEFAULT_TRIALS = 25
@@ -75,16 +76,58 @@ class Figure2Result(NamedTuple):
             title=f"Figure 2: DNS lookup latency ({self.trials} tests/bar)")
 
 
+def _deployment(site: str):
+    for deployment in TABLE1_SITES:
+        if deployment.site == site:
+            return deployment
+    raise KeyError(site)
+
+
+class Figure2Experiment(Experiment):
+    """One trial per (site, connectivity) bar, independently seeded."""
+
+    name = "figure2"
+    title = "Figure 2: DNS lookup latency per CDN domain and access network"
+    params = (Param("trials", int, 25, "tests per bar"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        trials = int(params["trials"])
+        base = int(params["seed"])
+        specs = []
+        for deployment in TABLE1_SITES:
+            for connectivity in CONNECTIVITIES:
+                specs.append(self.spec(
+                    len(specs),
+                    seed=derive_seed(base, "figure2", deployment.site,
+                                     connectivity),
+                    site=deployment.site, connectivity=connectivity,
+                    trials=trials))
+        return specs
+
+    def run_trial(self, spec):
+        site = str(spec.value("site"))
+        connectivity = str(spec.value("connectivity"))
+        scenario = PublicInternetScenario(seed=spec.seed)
+        results = scenario.run_series(connectivity, _deployment(site),
+                                      int(spec.value("trials")))
+        stats = summarize([result.query_time_ms for result in results])
+        return Figure2Row(site, connectivity, stats)
+
+    def merge(self, params, payloads):
+        return Figure2Result(rows=list(payloads),
+                             trials=int(params["trials"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = Figure2Experiment()
+
+
 def run(trials: int = DEFAULT_TRIALS, seed: int = 0) -> Figure2Result:
     """Run the experiment and return its structured result."""
-    scenario = PublicInternetScenario(seed=seed)
-    rows: List[Figure2Row] = []
-    for deployment in TABLE1_SITES:
-        for connectivity in CONNECTIVITIES:
-            results = scenario.run_series(connectivity, deployment, trials)
-            stats = summarize([result.query_time_ms for result in results])
-            rows.append(Figure2Row(deployment.site, connectivity, stats))
-    return Figure2Result(rows=rows, trials=trials)
+    return EXPERIMENT.run_serial(trials=trials, seed=seed)
 
 
 def check_shape(result: Figure2Result) -> List[str]:

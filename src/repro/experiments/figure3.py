@@ -19,6 +19,7 @@ from typing import Dict, List, NamedTuple
 from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES
 from repro.experiments.public_internet import PublicInternetScenario
 from repro.experiments.report import format_bar, format_table
+from repro.runtime import Experiment, Param, derive_seed
 
 DEFAULT_TRIALS = 40
 
@@ -64,28 +65,70 @@ class Figure3Result(NamedTuple):
         return "\n".join(blocks)
 
 
+def _deployment(site: str):
+    for deployment in TABLE1_SITES:
+        if deployment.site == site:
+            return deployment
+    raise KeyError(site)
+
+
+class Figure3Experiment(Experiment):
+    """One trial per (site, connectivity) bar, independently seeded."""
+
+    name = "figure3"
+    title = "Figure 3: DNS answer distribution over provider pools"
+    params = (Param("trials", int, 25, "queries per bar"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        trials = int(params["trials"])
+        base = int(params["seed"])
+        specs = []
+        for deployment in TABLE1_SITES:
+            for connectivity in CONNECTIVITIES:
+                specs.append(self.spec(
+                    len(specs),
+                    seed=derive_seed(base, "figure3", deployment.site,
+                                     connectivity),
+                    site=deployment.site, connectivity=connectivity,
+                    trials=trials))
+        return specs
+
+    def run_trial(self, spec):
+        site = str(spec.value("site"))
+        connectivity = str(spec.value("connectivity"))
+        deployment = _deployment(site)
+        scenario = PublicInternetScenario(seed=spec.seed)
+        results = scenario.run_series(connectivity, deployment,
+                                      int(spec.value("trials")))
+        counts: Counter = Counter()
+        unmatched = 0
+        for result in results:
+            for address in result.addresses:
+                pool = deployment.pool_for_ip(address)
+                if pool is None:
+                    unmatched += 1
+                else:
+                    counts[pool.label] += 1
+        total = sum(counts.values())
+        distribution = {label: count / total
+                        for label, count in counts.items()} if total else {}
+        return Figure3Row(site, connectivity, distribution, unmatched)
+
+    def merge(self, params, payloads):
+        return Figure3Result(rows=list(payloads),
+                             trials=int(params["trials"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = Figure3Experiment()
+
+
 def run(trials: int = DEFAULT_TRIALS, seed: int = 0) -> Figure3Result:
     """Run the experiment and return its structured result."""
-    scenario = PublicInternetScenario(seed=seed)
-    rows: List[Figure3Row] = []
-    for deployment in TABLE1_SITES:
-        for connectivity in CONNECTIVITIES:
-            results = scenario.run_series(connectivity, deployment, trials)
-            counts: Counter = Counter()
-            unmatched = 0
-            for result in results:
-                for address in result.addresses:
-                    pool = deployment.pool_for_ip(address)
-                    if pool is None:
-                        unmatched += 1
-                    else:
-                        counts[pool.label] += 1
-            total = sum(counts.values())
-            distribution = {label: count / total
-                            for label, count in counts.items()} if total else {}
-            rows.append(Figure3Row(deployment.site, connectivity,
-                                   distribution, unmatched))
-    return Figure3Result(rows=rows, trials=trials)
+    return EXPERIMENT.run_serial(trials=trials, seed=seed)
 
 
 def check_shape(result: Figure3Result) -> List[str]:

@@ -26,6 +26,8 @@ from repro.cdn.geo import GeoIpDatabase, GeoPoint, haversine_km
 from repro.cdn.providers import CONNECTIVITIES, TABLE1_SITES
 from repro.experiments.public_internet import PublicInternetScenario
 from repro.experiments.report import format_table
+from repro.netsim.rand import RandomStreams
+from repro.runtime import Experiment, Param, derive_seed
 
 #: The device's true location (the paper measured from one spot; we use
 #: the Georgia Tech campus).
@@ -92,50 +94,117 @@ class MislocalizationResult(NamedTuple):
         return summary + "\n\n" + detail
 
 
-def run(trials: int = DEFAULT_TRIALS, seed: int = 0) -> MislocalizationResult:
-    """Run the experiment and return its structured result."""
-    scenario = PublicInternetScenario(seed=seed)
-    geoip = GeoIpDatabase(scenario.network.streams.stream("geoip"))
-    for cidr, location, error_km in GEOIP_ENTRIES:
-        geoip.register(cidr, location, error_km)
+def _deployment(site: str):
+    for deployment in TABLE1_SITES:
+        if deployment.site == site:
+            return deployment
+    raise KeyError(site)
 
-    geoip_error: Dict[str, float] = {}
-    for connectivity in CONNECTIVITIES:
+
+class MislocalizationExperiment(Experiment):
+    """Two kinds of independently-seeded cells.
+
+    ``geoip`` cells sample the GeoIP error for one visible address;
+    ``series`` cells run one (site, connectivity) DNS series and record
+    the client-to-selected-pool distances.  ``merge`` reassembles the
+    per-connectivity rows and the per-site table from the tagged
+    payloads, in :data:`CONNECTIVITIES`/:data:`TABLE1_SITES` order.
+    """
+
+    name = "mislocalization"
+    title = "P2 mislocalization: GeoIP error and cache distance"
+    params = (Param("trials", int, 25, "DNS tests per cell"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        trials = int(params["trials"])
+        base = int(params["seed"])
+        specs = []
+        for connectivity in CONNECTIVITIES:
+            specs.append(self.spec(
+                len(specs),
+                seed=derive_seed(base, "mislocalization", "geoip",
+                                 connectivity),
+                kind="geoip", connectivity=connectivity))
+        for deployment in TABLE1_SITES:
+            for connectivity in CONNECTIVITIES:
+                specs.append(self.spec(
+                    len(specs),
+                    seed=derive_seed(base, "mislocalization",
+                                     deployment.site, connectivity),
+                    kind="series", site=deployment.site,
+                    connectivity=connectivity, trials=trials))
+        return specs
+
+    def run_trial(self, spec):
+        if spec.value("kind") == "geoip":
+            return self._geoip_cell(spec)
+        return self._series_cell(spec)
+
+    def _geoip_cell(self, spec):
+        connectivity = str(spec.value("connectivity"))
+        geoip = GeoIpDatabase(RandomStreams(spec.seed).stream("geoip"))
+        for cidr, location, error_km in GEOIP_ENTRIES:
+            geoip.register(cidr, location, error_km)
         visible = VISIBLE_ADDRESS[connectivity]
         errors = []
         for _ in range(GEOIP_SAMPLES):
             believed = geoip.lookup(visible)
             assert believed is not None
             errors.append(haversine_km(CLIENT_LOCATION, believed))
-        geoip_error[connectivity] = sum(errors) / len(errors)
+        return ("geoip", connectivity, sum(errors) / len(errors))
 
-    per_site: Dict[str, Dict[str, float]] = {}
-    mean_distance: Dict[str, List[float]] = {
-        connectivity: [] for connectivity in CONNECTIVITIES}
-    for deployment in TABLE1_SITES:
-        per_site[deployment.site] = {}
-        for connectivity in CONNECTIVITIES:
-            results = scenario.run_series(connectivity, deployment, trials)
-            distances = []
-            for result in results:
-                for address in result.addresses:
-                    pool = deployment.pool_for_ip(address)
-                    if pool is not None:
-                        distances.append(
-                            haversine_km(CLIENT_LOCATION, pool.site))
-            site_mean = sum(distances) / len(distances) if distances else 0.0
-            per_site[deployment.site][connectivity] = site_mean
-            mean_distance[connectivity].extend(distances)
+    def _series_cell(self, spec):
+        site = str(spec.value("site"))
+        connectivity = str(spec.value("connectivity"))
+        deployment = _deployment(site)
+        scenario = PublicInternetScenario(seed=spec.seed)
+        results = scenario.run_series(connectivity, deployment,
+                                      int(spec.value("trials")))
+        distances = []
+        for result in results:
+            for address in result.addresses:
+                pool = deployment.pool_for_ip(address)
+                if pool is not None:
+                    distances.append(
+                        haversine_km(CLIENT_LOCATION, pool.site))
+        return ("series", site, connectivity, distances)
 
-    rows = [MislocalizationRow(
-                connectivity=connectivity,
-                geoip_error_km=geoip_error[connectivity],
-                mean_cache_distance_km=(
-                    sum(mean_distance[connectivity])
-                    / len(mean_distance[connectivity])))
-            for connectivity in CONNECTIVITIES]
-    return MislocalizationResult(rows=rows, per_site_distance=per_site,
-                                 trials=trials)
+    def merge(self, params, payloads):
+        geoip_error: Dict[str, float] = {}
+        per_site: Dict[str, Dict[str, float]] = {}
+        mean_distance: Dict[str, List[float]] = {
+            connectivity: [] for connectivity in CONNECTIVITIES}
+        for payload in payloads:
+            if payload[0] == "geoip":
+                _, connectivity, error = payload
+                geoip_error[connectivity] = error
+            else:
+                _, site, connectivity, distances = payload
+                site_mean = (sum(distances) / len(distances)
+                             if distances else 0.0)
+                per_site.setdefault(site, {})[connectivity] = site_mean
+                mean_distance[connectivity].extend(distances)
+        rows = [MislocalizationRow(
+                    connectivity=connectivity,
+                    geoip_error_km=geoip_error[connectivity],
+                    mean_cache_distance_km=(
+                        sum(mean_distance[connectivity])
+                        / len(mean_distance[connectivity])))
+                for connectivity in CONNECTIVITIES]
+        return MislocalizationResult(rows=rows, per_site_distance=per_site,
+                                     trials=int(params["trials"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = MislocalizationExperiment()
+
+
+def run(trials: int = DEFAULT_TRIALS, seed: int = 0) -> MislocalizationResult:
+    """Run the experiment and return its structured result."""
+    return EXPERIMENT.run_serial(trials=trials, seed=seed)
 
 
 def check_shape(result: MislocalizationResult) -> List[str]:

@@ -34,6 +34,7 @@ from repro.netsim.packet import Endpoint
 from repro.netsim.rand import RandomStreams
 from repro.netsim.socket import UdpSocket
 from repro.resolver.authoritative import AuthoritativeServer
+from repro.runtime import Experiment, Param
 
 CDN_DOMAIN = "mycdn.ciab.test"
 CONTENT = Name(f"video.demo1.{CDN_DOMAIN}")
@@ -182,11 +183,38 @@ def _run_policy(policy: str, attack_qps: float, seed: int) -> OverloadRow:
         queries_dropped_at_mec=mec_dns.queries_dropped)
 
 
+class OverloadExperiment(Experiment):
+    """One trial per mitigation policy under the same flood."""
+
+    name = "overload"
+    title = "MEC DNS under a query flood, with/without mitigation"
+    params = (Param("attack_qps", float, 1500.0, "flood rate"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        return [self.spec(index, seed=int(params["seed"]), policy=policy,
+                          attack_qps=float(params["attack_qps"]))
+                for index, policy in enumerate(("none",
+                                                "switch-to-provider"))]
+
+    def run_trial(self, spec):
+        return _run_policy(str(spec.value("policy")),
+                           float(spec.value("attack_qps")), spec.seed)
+
+    def merge(self, params, payloads):
+        return OverloadResult(rows=list(payloads),
+                              attack_qps=float(params["attack_qps"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = OverloadExperiment()
+
+
 def run(attack_qps: float = 1500.0, seed: int = 0) -> OverloadResult:
     """Run the experiment and return its structured result."""
-    rows = [_run_policy(policy, attack_qps, seed)
-            for policy in ("none", "switch-to-provider")]
-    return OverloadResult(rows=rows, attack_qps=attack_qps)
+    return EXPERIMENT.run_serial(attack_qps=attack_qps, seed=seed)
 
 
 def check_shape(result: OverloadResult) -> List[str]:

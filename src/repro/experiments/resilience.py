@@ -39,6 +39,7 @@ from repro.faults import FaultPlan, inject
 from repro.measure.runner import MeasurementRun, measure_deployment_run
 from repro.measure.stats import percentile
 from repro.resolver.retry import RetryPolicy
+from repro.runtime import Experiment, Param
 
 #: Measured lookups per cell (after warmup).
 DEFAULT_QUERIES = 40
@@ -302,39 +303,101 @@ def _burst_cell(mode: str, queries: int,
 # Experiment entry points
 # ---------------------------------------------------------------------------
 
+class ResilienceExperiment(Experiment):
+    """The chaos grid, one trial per (scenario, deployment, mode) cell.
+
+    Every cell builds its own faulted testbed from the base seed — the
+    historical loop did exactly that — so sharding cannot change any
+    measured value.  The two determinism-replay runs are cells too
+    (``kind="replay"``), each contributing one digest; ``merge`` pairs
+    them back into the published ``replays`` evidence.
+    """
+
+    name = "resilience"
+    title = "§3 chaos grid: the deployments under injected faults"
+    params = (Param("queries", int, 40, "measured lookups per cell"),
+              Param("seed", int, 42, "base RNG seed"))
+
+    def trials(self, params):
+        queries = int(params["queries"])
+        base = int(params["seed"])
+        specs = []
+        for deployment in DEPLOYMENT_KEYS:
+            for mode in MODES:
+                specs.append(self.spec(
+                    len(specs), seed=base, kind="crash",
+                    deployment=deployment, mode=mode, queries=queries))
+        for mode in MODES:
+            specs.append(self.spec(len(specs), seed=base, kind="partition",
+                                   mode=mode, queries=queries))
+        for mode in MODES:
+            specs.append(self.spec(len(specs), seed=base, kind="burst",
+                                   mode=mode, queries=queries))
+        for which in (1, 2):
+            specs.append(self.spec(len(specs), seed=base, kind="replay",
+                                   which=which, queries=queries))
+        return specs
+
+    def run_trial(self, spec):
+        kind = str(spec.value("kind"))
+        queries = int(spec.value("queries"))
+        if kind == "crash":
+            deployment = str(spec.value("deployment"))
+            mode = str(spec.value("mode"))
+            row, timeline, _ = _crash_cell(deployment, mode, queries,
+                                           spec.seed)
+            return ("crash", deployment, mode, row, timeline)
+        if kind == "partition":
+            mode = str(spec.value("mode"))
+            row, timeline = _partition_cell(mode, queries, spec.seed)
+            return ("partition", mode, row, timeline)
+        if kind == "burst":
+            mode = str(spec.value("mode"))
+            row, timeline = _burst_cell(mode, queries, spec.seed)
+            return ("burst", mode, row, timeline)
+        _, _, digest = _crash_cell("mec-ldns-mec-cdns", "resilient",
+                                   queries, spec.seed)
+        return ("replay", int(spec.value("which")), digest)
+
+    def merge(self, params, payloads):
+        rows: List[ScenarioRow] = []
+        timelines: Dict[str, List[str]] = {}
+        digests: Dict[int, str] = {}
+        for payload in payloads:
+            kind = payload[0]
+            if kind == "crash":
+                _, deployment, mode, row, timeline = payload
+                rows.append(row)
+                timelines[f"cdns-crash/{deployment}/{mode}"] = timeline
+            elif kind == "partition":
+                _, mode, row, timeline = payload
+                rows.append(row)
+                timelines[f"mec-partition/mec-ldns-mec-cdns/{mode}"] = \
+                    timeline
+            elif kind == "burst":
+                _, mode, row, timeline = payload
+                rows.append(row)
+                timelines[f"lte-burst-loss/mec-ldns-mec-cdns/{mode}"] = \
+                    timeline
+            else:
+                _, which, digest = payload
+                digests[which] = digest
+        replays = {"cdns-crash/mec-ldns-mec-cdns/resilient":
+                   (digests[1], digests[2])}
+        return ResilienceResult(rows=rows, timelines=timelines,
+                                replays=replays,
+                                queries=int(params["queries"]))
+
+    def check_shape(self, result):
+        return check_shape(result)
+
+
+EXPERIMENT = ResilienceExperiment()
+
+
 def run(queries: int = DEFAULT_QUERIES, seed: int = 42) -> ResilienceResult:
     """Replay the three fault scenarios over baseline/resilient cells."""
-    rows: List[ScenarioRow] = []
-    timelines: Dict[str, List[str]] = {}
-    replays: Dict[str, Tuple[str, str]] = {}
-
-    for deployment in DEPLOYMENT_KEYS:
-        for mode in MODES:
-            row, timeline, _ = _crash_cell(deployment, mode, queries, seed)
-            rows.append(row)
-            timelines[f"cdns-crash/{deployment}/{mode}"] = timeline
-
-    for mode in MODES:
-        row, timeline = _partition_cell(mode, queries, seed)
-        rows.append(row)
-        timelines[f"mec-partition/mec-ldns-mec-cdns/{mode}"] = timeline
-
-    for mode in MODES:
-        row, timeline = _burst_cell(mode, queries, seed)
-        rows.append(row)
-        timelines[f"lte-burst-loss/mec-ldns-mec-cdns/{mode}"] = timeline
-
-    # Determinism proof: rebuild and replay one faulted cell with the
-    # same seed; the fault timeline AND every measurement must agree
-    # byte for byte.
-    _, _, first = _crash_cell("mec-ldns-mec-cdns", "resilient",
-                              queries, seed)
-    _, _, second = _crash_cell("mec-ldns-mec-cdns", "resilient",
-                               queries, seed)
-    replays["cdns-crash/mec-ldns-mec-cdns/resilient"] = (first, second)
-
-    return ResilienceResult(rows=rows, timelines=timelines,
-                            replays=replays, queries=queries)
+    return EXPERIMENT.run_serial(queries=queries, seed=seed)
 
 
 def check_shape(result: ResilienceResult) -> List[str]:

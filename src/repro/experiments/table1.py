@@ -11,6 +11,7 @@ from typing import List, NamedTuple
 
 from repro.cdn.providers import TABLE1_SITES
 from repro.experiments.report import format_table
+from repro.runtime import Experiment
 
 
 class Table1Row(NamedTuple):
@@ -31,13 +32,33 @@ class Table1Result(NamedTuple):
             title="Table 1: CDN domains tested for static web content")
 
 
+class Table1Experiment(Experiment):
+    """Pure data derivation: one trial, no randomness, no parameters."""
+
+    name = "table1"
+    title = "Table 1: CDN domains tested for static web content"
+    shape_checked = False
+
+    def trials(self, params):
+        return [self.spec(0, seed=0)]
+
+    def run_trial(self, spec):
+        rows = []
+        for deployment in TABLE1_SITES:
+            providers = sorted({pool.provider for pool in deployment.pools})
+            rows.append(Table1Row(
+                site=deployment.site,
+                domain=deployment.domain.to_text().rstrip("."),
+                providers=", ".join(providers)))
+        return Table1Result(rows=rows)
+
+    def merge(self, params, payloads):
+        return payloads[0]
+
+
+EXPERIMENT = Table1Experiment()
+
+
 def run() -> Table1Result:
     """Run the experiment and return its structured result."""
-    rows = []
-    for deployment in TABLE1_SITES:
-        providers = sorted({pool.provider for pool in deployment.pools})
-        rows.append(Table1Row(
-            site=deployment.site,
-            domain=deployment.domain.to_text().rstrip("."),
-            providers=", ".join(providers)))
-    return Table1Result(rows=rows)
+    return EXPERIMENT.run_serial()

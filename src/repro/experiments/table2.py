@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, NamedTuple
 
 from repro.experiments.report import format_table
+from repro.runtime import Experiment
 
 
 class EcosystemRole(NamedTuple):
@@ -77,11 +78,33 @@ class Table2Result(NamedTuple):
         return "\n".join(lines)
 
 
+class Table2Experiment(Experiment):
+    """Pure data derivation: one trial, no randomness, no parameters."""
+
+    name = "table2"
+    title = "Table 2: Entities and roles in MEC CDN"
+    shape_checked = False
+
+    def trials(self, params):
+        return [self.spec(0, seed=0)]
+
+    def run_trial(self, spec):
+        known_entities = {row.entity for row in TABLE2_ROLES}
+        for entity, roles in sorted(MULTI_ROLE_EXAMPLES.items()):
+            unknown = set(roles) - known_entities
+            if unknown:
+                raise ValueError(
+                    f"{entity} maps to unknown roles {sorted(unknown)}")
+        return Table2Result(rows=TABLE2_ROLES,
+                            multi_role=MULTI_ROLE_EXAMPLES)
+
+    def merge(self, params, payloads):
+        return payloads[0]
+
+
+EXPERIMENT = Table2Experiment()
+
+
 def run() -> Table2Result:
     """Run the experiment and return its structured result."""
-    known_entities = {row.entity for row in TABLE2_ROLES}
-    for entity, roles in MULTI_ROLE_EXAMPLES.items():
-        unknown = set(roles) - known_entities
-        if unknown:
-            raise ValueError(f"{entity} maps to unknown roles {unknown}")
-    return Table2Result(rows=TABLE2_ROLES, multi_role=MULTI_ROLE_EXAMPLES)
+    return EXPERIMENT.run_serial()

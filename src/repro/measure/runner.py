@@ -102,6 +102,7 @@ def measure_deployment_run(testbed: Testbed, count: int,
         for index in range(warmup + count):
             trace.clear()
             started = sim.now
+            issued_before = stub.queries_issued
             span = None
             if tel is not None:
                 span = tel.tracer.begin(
@@ -123,8 +124,7 @@ def measure_deployment_run(testbed: Testbed, count: int,
                         addresses=[],
                         status="TIMEOUT",
                         started_at=started,
-                        attempts=(stub.retries if stub.policy is None
-                                  else stub.policy.retries) + 1,
+                        attempts=max(1, stub.queries_issued - issued_before),
                         trace_id=(span.trace_id if span is not None
                                   else None)))
                 yield spacing_ms

@@ -173,17 +173,25 @@ class Simulator:
 
     # -- running -------------------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
-        """Process events until the queue drains or ``until`` is reached.
+    def _drain(self, stop: Callable[[], bool], until: Optional[float],
+               max_events: int) -> bool:
+        """Pop-and-dispatch loop shared by :meth:`run` and
+        :meth:`run_until_resolved`.
 
-        Returns the simulated time when the run stopped.
+        Processes events until ``stop()`` turns true, the horizon ``until``
+        is hit (clock advances to it), or the queue drains.  Returns
+        ``False`` only on a drained queue with ``stop()`` still false.
+        ``max_events`` bounds this call; ``events_processed`` keeps
+        accumulating across calls.
         """
         processed = 0
-        while self._queue:
+        while not stop():
+            if not self._queue:
+                return False
             when, _, callback = self._queue[0]
             if until is not None and when > until:
                 self._now = until
-                return self._now
+                return True
             heapq.heappop(self._queue)
             self._now = when
             callback()
@@ -192,6 +200,14 @@ class Simulator:
             if processed >= max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events; likely a runaway loop")
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time when the run stopped.
+        """
+        self._drain(lambda: False, until, max_events)
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -224,17 +240,7 @@ class Simulator:
     def run_until_resolved(self, future: SimFuture,
                            max_events: int = 10_000_000) -> Any:
         """Run until ``future`` resolves; return its result (or raise)."""
-        processed = 0
-        while not future.done:
-            if not self._queue:
-                raise SimulationError(
-                    "event queue drained before the awaited future resolved")
-            when, _, callback = heapq.heappop(self._queue)
-            self._now = when
-            callback()
-            processed += 1
-            self.events_processed += 1
-            if processed >= max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely a runaway loop")
+        if not self._drain(lambda: future.done, None, max_events):
+            raise SimulationError(
+                "event queue drained before the awaited future resolved")
         return future.result()

@@ -1,0 +1,71 @@
+"""Per-trial telemetry capture and deterministic re-merge.
+
+The ambient-telemetry flow (``repro.cli --trace-out/--metrics-out``)
+hangs one :class:`~repro.telemetry.Telemetry` facade on every network a
+run builds.  Under sharded execution that facade cannot be shared — a
+worker process would mutate a fork-copied tracer nobody reads — and
+even in-process it would make span numbering depend on completion
+order.  So the executor gives **every trial its own fresh facade**
+(serial and parallel alike), snapshots it when the trial ends, and
+merges the snapshots into the session facade *after the barrier, in
+spec order*.  Exported traces and metrics therefore come out
+byte-identical for ``--jobs 1`` and ``--jobs N``.
+
+A snapshot carries finished spans plus the metrics registry — both are
+plain data and pickle cleanly; the tracer itself does not (its clock is
+a lambda), which is exactly why snapshots exist.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro import telemetry as _telemetry
+from repro.telemetry import MetricsRegistry, Span, Telemetry
+
+
+class TelemetrySnapshot(NamedTuple):
+    """One trial's telemetry output, detached from any clock."""
+
+    spans: List[Span]
+    dropped: int
+    metrics: MetricsRegistry
+
+
+def begin_trial_capture(enabled: bool) -> Optional[Telemetry]:
+    """Install a fresh ambient facade for one trial (or none at all).
+
+    Always *replaces* the ambient default — in a forked worker the
+    inherited default is a dead copy of the parent's facade and must
+    never collect anything.
+    """
+    facade = Telemetry() if enabled else None
+    _telemetry.set_default(facade)
+    return facade
+
+
+def end_trial_capture(
+        facade: Optional[Telemetry],
+        restore: Optional[Telemetry] = None) -> Optional[TelemetrySnapshot]:
+    """Snapshot ``facade`` and restore the previous ambient default."""
+    _telemetry.set_default(restore)
+    if facade is None:
+        return None
+    return TelemetrySnapshot(spans=list(facade.tracer.finished),
+                             dropped=facade.tracer.dropped,
+                             metrics=facade.metrics)
+
+
+def merge_snapshot(session: Telemetry,
+                   snapshot: Optional[TelemetrySnapshot]) -> None:
+    """Fold one trial's snapshot into the session facade.
+
+    Span and trace ids are remapped past the session tracer's
+    high-water mark (`Tracer.absorb`), so per-trial id spaces
+    concatenate identically regardless of which backend produced them.
+    """
+    if snapshot is None:
+        return
+    session.tracer.absorb(snapshot.spans)
+    session.tracer.dropped += snapshot.dropped
+    session.metrics.merge_from(snapshot.metrics)

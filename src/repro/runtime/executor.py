@@ -1,0 +1,180 @@
+"""Sharded trial execution with per-trial fault isolation.
+
+:class:`TrialExecutor` runs an :class:`~repro.runtime.experiment.Experiment`'s
+trial plan through one of two backends:
+
+* **serial** (``jobs=1``) — every trial in this process, in spec order;
+* **multiprocessing** (``jobs=N``) — specs pickled to a worker pool,
+  payloads collected with ``Pool.map`` (which preserves input order).
+
+Both backends uphold the same contract:
+
+* results are merged strictly in **spec order**, never completion
+  order, so the published artifact is byte-identical across backends;
+* a trial that raises becomes a structured :class:`TrialFailure` on its
+  :class:`TrialOutcome` instead of killing the sweep — the remaining
+  trials still run, and ``merge`` is skipped only when something failed;
+* when ambient telemetry is installed, each trial collects into its own
+  fresh facade and the snapshots are merged after the barrier, in spec
+  order (see :mod:`repro.runtime.capture`).
+
+Workers never import experiment modules by name — the experiment
+*instance* travels inside the pickled task, and unpickling performs the
+import.  That keeps ``runtime`` free of any ``experiments`` import edge
+(the layering contract forbids the cycle, lazy imports included).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import List, Mapping, NamedTuple, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.runtime.capture import (TelemetrySnapshot, begin_trial_capture,
+                                   end_trial_capture, merge_snapshot)
+from repro.runtime.experiment import Experiment
+from repro.runtime.spec import TrialSpec
+
+
+class TrialFailure(NamedTuple):
+    """One crashed trial, reported as data instead of a dead sweep."""
+
+    spec: TrialSpec
+    error: str       # exception class name
+    message: str
+    traceback: str
+
+    def describe(self) -> str:
+        """One-line summary for failure reports."""
+        return f"{self.spec.label()}: {self.error}: {self.message}"
+
+
+class TrialOutcome(NamedTuple):
+    """One trial's result: a payload or a failure, never both."""
+
+    spec: TrialSpec
+    payload: Optional[object]
+    failure: Optional[TrialFailure]
+
+
+class ExperimentRun(NamedTuple):
+    """A full sweep: merged artifact plus per-trial accounting."""
+
+    experiment: str
+    params: Tuple[Tuple[str, object], ...]
+    #: The merged artifact; ``None`` when any trial failed.
+    result: Optional[object]
+    outcomes: List[TrialOutcome]
+
+    @property
+    def failures(self) -> List[TrialFailure]:
+        """Every failed trial, in spec order."""
+        return [outcome.failure for outcome in self.outcomes
+                if outcome.failure is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.result is not None
+
+
+class _TrialTask(NamedTuple):
+    """What crosses the process boundary, pickled: recipe, cell, flag."""
+
+    experiment: Experiment
+    spec: TrialSpec
+    capture: bool
+
+
+class _TrialDone(NamedTuple):
+    outcome: TrialOutcome
+    snapshot: Optional[TelemetrySnapshot]
+
+
+def _run_trial_task(task: _TrialTask) -> _TrialDone:
+    """Execute one trial under a fresh (or no) telemetry facade.
+
+    Module-level so worker processes resolve it by qualified name; also
+    the serial backend's body, so both backends share one code path.
+    """
+    facade = begin_trial_capture(task.capture)
+    failure: Optional[TrialFailure] = None
+    payload: Optional[object] = None
+    try:
+        payload = task.experiment.run_trial(task.spec)
+    except Exception as error:  # noqa: BLE001 - failures are data here
+        failure = TrialFailure(
+            spec=task.spec, error=type(error).__name__,
+            message=str(error), traceback=traceback.format_exc())
+    snapshot = end_trial_capture(facade)
+    return _TrialDone(
+        outcome=TrialOutcome(spec=task.spec, payload=payload,
+                             failure=failure),
+        snapshot=snapshot)
+
+
+class TrialExecutor:
+    """Runs trial plans serially or across a process pool."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, experiment: Experiment,
+            overrides: Optional[Mapping[str, object]] = None,
+            ) -> ExperimentRun:
+        """Expand, execute (sharded if asked), merge, and account."""
+        params = experiment.resolve_params(overrides)
+        specs = experiment.trials(params)
+        session = _telemetry.get_default()
+        capture = session is not None
+        if self.jobs == 1 or len(specs) <= 1:
+            done = self._run_serial(experiment, specs, capture)
+        else:
+            done = self._run_pool(experiment, specs, capture)
+        if session is not None:
+            # After the barrier, in spec order — never completion order.
+            for item in done:
+                merge_snapshot(session, item.snapshot)
+        outcomes = [item.outcome for item in done]
+        failed = any(outcome.failure is not None for outcome in outcomes)
+        result: Optional[object] = None
+        if not failed:
+            result = experiment.merge(
+                params, [outcome.payload for outcome in outcomes])
+        return ExperimentRun(
+            experiment=experiment.name,
+            params=tuple(sorted(params.items(), key=lambda item: item[0])),
+            result=result, outcomes=outcomes)
+
+    # -- backends -----------------------------------------------------------
+
+    def _run_serial(self, experiment: Experiment, specs: List[TrialSpec],
+                    capture: bool) -> List[_TrialDone]:
+        session = _telemetry.get_default()
+        done: List[_TrialDone] = []
+        try:
+            for spec in specs:
+                done.append(_run_trial_task(
+                    _TrialTask(experiment, spec, capture)))
+        finally:
+            _telemetry.set_default(session)
+        return done
+
+    def _run_pool(self, experiment: Experiment, specs: List[TrialSpec],
+                  capture: bool) -> List[_TrialDone]:
+        tasks = [_TrialTask(experiment, spec, capture) for spec in specs]
+        context = self._context()
+        workers = min(self.jobs, len(specs))
+        with context.Pool(processes=workers) as pool:
+            # Pool.map returns results in input order: the spec order.
+            return pool.map(_run_trial_task, tasks)
+
+    @staticmethod
+    def _context() -> multiprocessing.context.BaseContext:
+        """Prefer fork (cheap, Linux default); fall back elsewhere."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()

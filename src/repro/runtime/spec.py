@@ -1,0 +1,68 @@
+"""Trial specifications and the seed-derivation rule.
+
+A :class:`TrialSpec` names one independently-runnable cell of an
+experiment sweep — a (deployment, seed, query-count) point, a
+(site, connectivity) series, one load-generator rate.  Specs are plain
+data: picklable, hashable, and self-contained, so a trial can execute
+in this process or be shipped to a worker process and produce the same
+payload either way.
+
+Seeds follow the :mod:`repro.netsim.rand` idiom: a cell that must be
+statistically independent of its siblings derives its seed from the
+experiment's base seed plus the cell coordinates via
+:func:`derive_seed` (sha256, like ``RandomStreams.stream``).  A cell
+that must reproduce a historical single-process run byte-for-byte
+keeps the base seed unchanged — the experiment decides, the executor
+never re-seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, NamedTuple, Tuple
+
+#: A cell's coordinates as a sorted, hashable ``(key, value)`` tuple.
+CellItems = Tuple[Tuple[str, object], ...]
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A stable sub-seed for the cell named by ``parts``.
+
+    Mirrors ``RandomStreams.stream``: sha256 over ``base`` and the
+    stringified parts, first 8 bytes as an integer.  Pure — the same
+    inputs give the same seed in every process on every platform.
+    """
+    material = ":".join([str(base)] + [str(part) for part in parts])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def freeze_cell(**cell: object) -> CellItems:
+    """Cell coordinates as a canonical key-sorted tuple of pairs."""
+    return tuple(sorted(cell.items(), key=lambda item: item[0]))
+
+
+class TrialSpec(NamedTuple):
+    """One independently-executable cell of an experiment sweep."""
+
+    experiment: str
+    index: int
+    cell: CellItems
+    seed: int
+
+    def cell_dict(self) -> Dict[str, object]:
+        """The cell coordinates as a plain dict."""
+        return dict(self.cell)
+
+    def value(self, key: str) -> object:
+        """One cell coordinate; raises ``KeyError`` if absent."""
+        for name, value in self.cell:
+            if name == key:
+                return value
+        raise KeyError(f"{self.experiment} trial {self.index} has no "
+                       f"cell key {key!r}")
+
+    def label(self) -> str:
+        """A short human-readable tag (progress and failure reports)."""
+        coords = ",".join(f"{key}={value}" for key, value in self.cell)
+        return f"{self.experiment}[{self.index}]({coords})"

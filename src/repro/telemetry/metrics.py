@@ -56,6 +56,11 @@ class Counter:
         """``(label_key, value)`` pairs in stable sorted order."""
         yield from sorted(self._samples.items())
 
+    def merge_from(self, other: "Counter") -> None:
+        """Add every sample of ``other`` into this counter."""
+        for key, value in sorted(other._samples.items()):
+            self._samples[key] = self._samples.get(key, 0.0) + value
+
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.total():g})"
 
@@ -90,6 +95,11 @@ class Gauge:
     def samples(self) -> Iterator[Tuple[LabelKey, float]]:
         """``(label_key, value)`` pairs in stable sorted order."""
         yield from sorted(self._samples.items())
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Adopt every sample of ``other`` (last write wins)."""
+        for key, value in sorted(other._samples.items()):
+            self._samples[key] = value
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}, {len(self._samples)} series)"
@@ -163,6 +173,23 @@ class Histogram:
         """``(label_key, sample)`` pairs in stable sorted order."""
         yield from sorted(self._samples.items(), key=lambda item: item[0])
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Add every sample of ``other``; bucket layouts must match."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r} bucket mismatch: "
+                f"{self.buckets} vs {other.buckets}")
+        for key, theirs in sorted(other._samples.items(),
+                                  key=lambda item: item[0]):
+            mine = self._samples.get(key)
+            if mine is None:
+                mine = self._samples[key] = _HistogramSample(
+                    len(self.buckets))
+            for index, count in enumerate(theirs.bucket_counts):
+                mine.bucket_counts[index] += count
+            mine.total += theirs.total
+            mine.count += theirs.count
+
     def __repr__(self) -> str:
         observed = sum(s.count for _, s in self.samples())
         return f"Histogram({self.name}, {observed} observations)"
@@ -219,6 +246,29 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold every instrument of ``other`` into this registry.
+
+        Counters add, gauges adopt the incoming value, histograms add
+        bucket-wise.  Instruments missing here are created with the
+        incoming help text (and bucket layout); a name registered as a
+        different kind in the two registries raises, same as
+        re-registering locally would.
+        """
+        for name in sorted(other._instruments):
+            theirs = other._instruments[name]
+            if isinstance(theirs, Counter):
+                self.counter(name, theirs.help).merge_from(theirs)
+            elif isinstance(theirs, Gauge):
+                self.gauge(name, theirs.help).merge_from(theirs)
+            elif isinstance(theirs, Histogram):
+                self.histogram(name, theirs.help,
+                               theirs.buckets).merge_from(theirs)
+            else:  # pragma: no cover - registry only stores these kinds
+                raise TypeError(
+                    f"metric {name!r} has unmergeable type "
+                    f"{type(theirs).__name__}")
 
     def _get_or_create(self, cls: type, name: str, help: str):
         instrument = self._instruments.get(name)

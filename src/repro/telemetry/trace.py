@@ -172,6 +172,36 @@ class Tracer:
         self.finished.clear()
         self.dropped = 0
 
+    # -- merging ----------------------------------------------------------------
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Fold spans from another tracer in, remapping their ids.
+
+        Every incoming trace/span id is shifted past this tracer's
+        high-water mark, so parentage inside the absorbed batch is
+        preserved and nothing collides with existing spans.  Absorbing
+        per-trial batches in a fixed order therefore yields the same id
+        assignment no matter which process produced each batch — the
+        property the sharded executor relies on for byte-identical
+        trace exports.
+        """
+        trace_offset = self._next_trace_id
+        span_offset = self._next_span_id
+        max_trace = 0
+        max_span = 0
+        for span in spans:
+            max_trace = max(max_trace, span.trace_id)
+            max_span = max(max_span, span.span_id)
+            parent_id = (None if span.parent_id is None
+                         else span.parent_id + span_offset)
+            copy = Span(span.trace_id + trace_offset,
+                        span.span_id + span_offset, parent_id,
+                        span.name, span.category, span.track,
+                        span.start_ms, span.end_ms, dict(span.attrs))
+            self._record(copy)
+        self._next_trace_id += max_trace
+        self._next_span_id += max_span
+
     def __len__(self) -> int:
         return len(self.finished)
 

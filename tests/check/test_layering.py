@@ -99,6 +99,29 @@ class TestContract:
                   "__init__": frozenset()}
         assert rules_of(layering.analyze(tree, contract=denied)) == ["ARCH001"]
 
+    def test_runtime_layer_in_contract(self):
+        assert layering.DEFAULT_CONTRACT["runtime"] == \
+            frozenset({"errors", "telemetry"})
+        assert "runtime" in layering.SIM_LAYERS
+
+    def test_runtime_may_not_import_experiments(self, tmp_path):
+        # The registry hands pickled experiment *instances* to workers;
+        # a module-level (or lazy) import edge would close the cycle.
+        tree = fake_repo(tmp_path, {
+            "repro/runtime/__init__.py": "",
+            "repro/experiments/__init__.py": "",
+            "repro/runtime/executor.py":
+                "from repro.experiments import figure5\n"})
+        assert "ARCH001" in rules_of(layering.analyze(tree))
+
+    def test_experiments_may_import_runtime(self, tmp_path):
+        tree = fake_repo(tmp_path, {
+            "repro/runtime/__init__.py": "",
+            "repro/experiments/__init__.py": "",
+            "repro/experiments/figure5.py":
+                "from repro.runtime import spec\n"})
+        assert layering.analyze(tree) == []
+
     def test_inline_suppression(self, tmp_path):
         tree = fake_repo(tmp_path, {
             "repro/netsim/engine.py":

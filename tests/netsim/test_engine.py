@@ -204,3 +204,56 @@ class TestProcesses:
         never = sim.future()
         with pytest.raises(SimulationError):
             sim.run_until_resolved(never)
+
+
+class TestSharedDrain:
+    """Both entry points run on one stepper; their semantics must hold."""
+
+    def test_run_with_empty_queue_still_advances_to_until(self):
+        sim = Simulator()
+        assert sim.run(until=25) == 25
+        assert sim.now == 25
+
+    def test_run_clamps_to_until_after_early_drain(self):
+        sim = Simulator()
+        sim.call_after(5, lambda: None)
+        assert sim.run(until=30) == 30
+        assert sim.events_processed == 1
+
+    def test_run_until_resolved_respects_max_events(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_after(1, rearm)
+
+        sim.call_soon(rearm)
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.run_until_resolved(sim.future(), max_events=100)
+
+    def test_max_events_bounds_each_call_separately(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.call_soon(lambda: None)
+        sim.run(max_events=10)
+        for _ in range(3):
+            sim.call_soon(lambda: None)
+        sim.run(max_events=10)  # would raise if the bound accumulated
+        assert sim.events_processed == 6
+
+    def test_events_processed_accumulates_across_entry_points(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.call_soon(lambda: None)
+        sim.run()
+        assert sim.run_until_resolved(sim.timer(5, "done")) == "done"
+        assert sim.events_processed == 4
+
+    def test_run_until_resolved_stops_at_resolution(self):
+        sim = Simulator()
+        fired = []
+        fut = sim.timer(10, "value")
+        sim.call_after(20, lambda: fired.append(True))
+        assert sim.run_until_resolved(fut) == "value"
+        # The later event is still queued; the loop stopped at the future.
+        assert not fired
+        assert sim.now == 10

@@ -1,0 +1,68 @@
+"""Tests for trial specs and the seed-derivation rule."""
+
+import pickle
+
+import pytest
+
+from repro.runtime import TrialSpec, derive_seed, freeze_cell
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "figure2", "site", "lte") == \
+            derive_seed(42, "figure2", "site", "lte")
+
+    def test_sensitive_to_every_part(self):
+        base = derive_seed(42, "figure2", "site", "lte")
+        assert derive_seed(43, "figure2", "site", "lte") != base
+        assert derive_seed(42, "figure3", "site", "lte") != base
+        assert derive_seed(42, "figure2", "site", "wifi") != base
+
+    def test_fits_in_64_bits(self):
+        seed = derive_seed(0, "x")
+        assert 0 <= seed < 2 ** 64
+
+    def test_known_value_is_pinned(self):
+        # The derivation rule is part of the determinism contract: a
+        # change here silently re-seeds every sharded experiment.
+        assert derive_seed(42, "figure2") == 10283438437519553523
+
+
+class TestFreezeCell:
+    def test_sorts_by_key(self):
+        assert freeze_cell(b=2, a=1) == (("a", 1), ("b", 2))
+
+    def test_canonical_across_keyword_order(self):
+        assert freeze_cell(x=1, y=2, z=3) == freeze_cell(z=3, y=2, x=1)
+
+    def test_empty(self):
+        assert freeze_cell() == ()
+
+
+class TestTrialSpec:
+    def spec(self):
+        return TrialSpec(experiment="toy", index=3,
+                         cell=freeze_cell(site="a0", connectivity="lte"),
+                         seed=99)
+
+    def test_pickle_round_trip(self):
+        spec = self.spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_cell_dict(self):
+        assert self.spec().cell_dict() == {"site": "a0",
+                                           "connectivity": "lte"}
+
+    def test_value(self):
+        assert self.spec().value("site") == "a0"
+
+    def test_missing_value_names_the_trial(self):
+        with pytest.raises(KeyError, match="toy trial 3"):
+            self.spec().value("rate")
+
+    def test_label(self):
+        assert self.spec().label() == \
+            "toy[3](connectivity=lte,site=a0)"
+
+    def test_hashable(self):
+        assert len({self.spec(), self.spec()}) == 1

@@ -20,6 +20,22 @@ class TestParser:
         assert args.count == 5
         assert not args.ecs
 
+    def test_jobs_defaults_to_serial(self):
+        args = build_parser().parse_args(["experiment", "figure5"])
+        assert args.jobs == 1
+
+    def test_all_is_a_valid_artifact(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.artifact == "all"
+
+    def test_registry_generated_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiment", "capacity", "--duration-ms", "250.5",
+             "--attack-qps", "900", "--jobs", "2"])
+        assert args.duration_ms == 250.5
+        assert args.attack_qps == 900.0
+        assert args.jobs == 2
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure9"])
@@ -53,6 +69,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MEC L-DNS w/ MEC C-DNS" in out
         assert "ALL HOLD" in out
+
+    def test_figure5_sharded_output_matches_serial(self, capsys):
+        assert main(["experiment", "figure5", "--queries", "6"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "figure5", "--queries", "6",
+                     "--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+        assert "ALL HOLD" in sharded
 
     def test_dig_runs_queries(self, capsys):
         assert main(["dig", "--count", "3", "--deployment",
