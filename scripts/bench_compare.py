@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_profile.json`` against the committed baseline.
+
+The perf-trajectory gate: ``repro profile <experiment>`` writes a
+``repro-bench-profile-v1`` document, and this script diffs it against
+the checked-in baseline::
+
+    PYTHONPATH=src python -m repro.cli profile figure5 --out-dir out
+    python scripts/bench_compare.py out/BENCH_profile.json \
+        --baseline BENCH_profile.json [--tolerance 1.3] [--strict]
+
+Wall-clock numbers are noisy across machines and CI runners, so the
+default mode only **warns** on regression (exit 0); ``--strict`` turns
+a regression into exit 1 for environments stable enough to gate on.  A
+regression is wall time above ``tolerance ×`` baseline or event
+throughput below ``baseline / tolerance``.  Deterministic counters
+(events, spans, traces) are reported when they drift — a change there
+is a behaviour change, not noise — but never gated on, because growing
+the simulation is usually the point of a PR.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+GATED_FORMAT = "repro-bench-profile-v1"
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot load {path}: {exc}")
+    if not isinstance(document, dict) or document.get("format") != GATED_FORMAT:
+        raise SystemExit(f"error: {path} is not a {GATED_FORMAT} document")
+    return document
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_profile.json")
+    parser.add_argument("--baseline", default="BENCH_profile.json",
+                        help="committed baseline (default: "
+                             "BENCH_profile.json)")
+    parser.add_argument("--tolerance", type=float, default=1.3,
+                        help="allowed slowdown factor before a regression "
+                             "is declared (default: 1.3)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warning")
+    args = parser.parse_args()
+    if args.tolerance < 1.0:
+        parser.error("--tolerance must be >= 1.0")
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    if current.get("experiment") != baseline.get("experiment"):
+        raise SystemExit(
+            f"error: experiment mismatch: current profiles "
+            f"{current.get('experiment')!r}, baseline "
+            f"{baseline.get('experiment')!r}")
+
+    regressions = []
+    wall_now = float(current.get("wall_s", 0.0))
+    wall_base = float(baseline.get("wall_s", 0.0))
+    print(f"wall_s:       {wall_now:.3f} now vs {wall_base:.3f} baseline "
+          f"(x{wall_now / wall_base:.2f})" if wall_base else
+          f"wall_s:       {wall_now:.3f} now (no baseline value)")
+    if wall_base and wall_now > wall_base * args.tolerance:
+        regressions.append(
+            f"wall_s {wall_now:.3f} exceeds {args.tolerance:.2f}x baseline "
+            f"{wall_base:.3f}")
+
+    eps_now = float(current.get("events_per_s", 0.0))
+    eps_base = float(baseline.get("events_per_s", 0.0))
+    print(f"events_per_s: {eps_now:.0f} now vs {eps_base:.0f} baseline"
+          if eps_base else f"events_per_s: {eps_now:.0f} now")
+    if eps_base and eps_now < eps_base / args.tolerance:
+        regressions.append(
+            f"events_per_s {eps_now:.0f} below baseline {eps_base:.0f} / "
+            f"{args.tolerance:.2f}")
+
+    for counter in ("events", "spans", "traces", "simulators",
+                    "max_heap_depth"):
+        now, base = current.get(counter), baseline.get(counter)
+        if now != base:
+            print(f"note: {counter} changed: {base} -> {now} "
+                  f"(behaviour change, not gated)")
+
+    if not regressions:
+        print("bench_compare: OK — within tolerance")
+        return 0
+    for regression in regressions:
+        print(f"{'REGRESSION' if args.strict else 'warning'}: {regression}")
+    if args.strict:
+        return 1
+    print("bench_compare: regression warnings only (pass --strict to gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

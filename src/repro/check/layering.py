@@ -46,13 +46,13 @@ RULES: Dict[str, str] = {
 #: scheduler or mutate simulation state.
 SIM_LAYERS = frozenset({
     "netsim", "faults", "resolver", "cdn", "mobile", "mec", "core",
-    "measure", "runtime", "experiments", "cli",
+    "measure", "runtime", "experiments", "profile", "cli",
 })
 
 _EVERYTHING = frozenset({
     "errors", "dnswire", "netsim", "telemetry", "faults", "resolver",
     "cdn", "mobile", "mec", "core", "measure", "runtime", "experiments",
-    "check", "cli",
+    "profile", "check", "cli",
 })
 
 #: layer -> layers it may import.  Top-level modules (``cli``,
@@ -77,7 +77,12 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
     # (per-trial capture) but never the experiments that plug into it --
     # workers receive pickled Experiment instances, not module imports.
     "runtime": frozenset({"errors", "telemetry"}),
-    "experiments": _EVERYTHING - frozenset({"cli", "check"}),
+    "experiments": _EVERYTHING - frozenset({"cli", "check", "profile"}),
+    # Analysis/profiling over recorded telemetry: a leaf consumer that
+    # only the CLI imports.  It reads spans and drives experiments via
+    # the runtime; no simulation layer may import it back.
+    "profile": frozenset({"errors", "telemetry", "netsim", "runtime",
+                          "experiments"}),
     "check": frozenset({"errors", "dnswire"}),
     "cli": _EVERYTHING,
     "__init__": _EVERYTHING,

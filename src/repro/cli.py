@@ -11,6 +11,11 @@ Subcommands:
 * ``deployments`` — list the six evaluated DNS deployments.
 * ``check`` — the determinism & architecture static-analysis gate
   (:mod:`repro.check`); exits nonzero on new findings.
+* ``profile <artifact>`` — run one artifact under the latency-budget
+  profiler (:mod:`repro.profile`): per-deployment budget report,
+  collapsed-stack flamegraph input, and ``BENCH_profile.json``.
+* ``slo <rules.slo> --input <artifact.json>`` — evaluate declarative
+  latency SLOs over budget/metrics artifacts; exits nonzero on breach.
 
 The artifact list and every experiment flag (``--trials``,
 ``--queries``, ``--seed``, ``--attack-qps``, ...) come out of the
@@ -26,6 +31,8 @@ Usage examples::
         --deployment mec-ldns-mec-cdns --count 5
     python -m repro.cli deployments
     python -m repro.cli check --format json --out report.json
+    python -m repro.cli profile figure5 --out-dir out
+    python -m repro.cli slo slo/figure5.slo --input out/figure5-budget.json
 """
 
 from __future__ import annotations
@@ -175,6 +182,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return check_runner.run_cli(args)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profile import runner as profile_runner
+    return profile_runner.run_profile_cli(args)
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.profile import runner as profile_runner
+    return profile_runner.run_slo_cli(args)
+
+
 def _cmd_deployments(args: argparse.Namespace) -> int:
     for key in DEPLOYMENT_KEYS:
         print(f"{key:22s} {DEPLOYMENT_LABELS[key]}")
@@ -234,6 +251,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "(exits nonzero on findings)")
     add_check_arguments(chk)
     chk.set_defaults(handler=_cmd_check)
+
+    from repro.profile.runner import add_profile_arguments, add_slo_arguments
+    prof = sub.add_parser(
+        "profile",
+        help="profile a paper artifact: latency budget, flamegraph "
+             "stacks, wall-clock bench (BENCH_profile.json)")
+    prof.add_argument("artifact", choices=tuple(registry.names()))
+    registry.add_cli_arguments(prof)
+    add_profile_arguments(prof)
+    prof.set_defaults(handler=_cmd_profile)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate declarative latency SLOs over budget/metrics "
+             "artifacts (exits nonzero on breach)")
+    add_slo_arguments(slo)
+    slo.set_defaults(handler=_cmd_slo)
     return parser
 
 

@@ -107,7 +107,8 @@ def measure_deployment_run(testbed: Testbed, count: int,
             if tel is not None:
                 span = tel.tracer.begin(
                     "lookup", "measure", "measure-driver",
-                    qname=str(testbed.query_name), warmup=index < warmup)
+                    qname=str(testbed.query_name), warmup=index < warmup,
+                    deployment=testbed.key)
             try:
                 result = yield from stub.query(
                     testbed.query_name,

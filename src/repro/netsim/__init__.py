@@ -19,7 +19,8 @@ testbed (USRP radios, srsLTE, a LAN, and the public Internet).  It provides:
 All times are milliseconds; all randomness flows from one seed.
 """
 
-from repro.netsim.engine import Simulator, SimFuture, ProcessFailed
+from repro.netsim.engine import (Simulator, SimFuture, ProcessFailed,
+                                 observe_simulators)
 from repro.netsim.rand import RandomStreams
 from repro.netsim.latency import (
     LatencyModel,
@@ -43,6 +44,7 @@ __all__ = [
     "Simulator",
     "SimFuture",
     "ProcessFailed",
+    "observe_simulators",
     "RandomStreams",
     "LatencyModel",
     "Constant",

@@ -21,6 +21,20 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Optional hook called with every freshly constructed :class:`Simulator`.
+#: The ``repro profile`` harness installs one to find the simulators an
+#: experiment builds internally (they never cross an API boundary
+#: otherwise).  ``None`` — the default — costs one attribute check per
+#: construction and nothing else; the hook only *observes*, so installed
+#: or not, the event stream is identical.
+_simulator_observer: Optional[Callable[["Simulator"], None]] = None
+
+
+def observe_simulators(callback: Optional[Callable[["Simulator"], None]]) -> None:
+    """Install (or, with ``None``, remove) the simulator-construction hook."""
+    global _simulator_observer
+    _simulator_observer = callback
+
 
 class ProcessFailed(SimulationError):
     """A spawned process raised; the original exception is ``__cause__``."""
@@ -88,6 +102,11 @@ class Simulator:
         self._sequence = 0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self.events_processed = 0
+        #: High-water mark of the pending-event heap, for the profiler's
+        #: event-loop report (how much future the simulation holds open).
+        self.max_queue_depth = 0
+        if _simulator_observer is not None:
+            _simulator_observer(self)
 
     @property
     def now(self) -> float:
@@ -103,6 +122,8 @@ class Simulator:
                 f"cannot schedule at {when} (now is {self._now})")
         self._sequence += 1
         heapq.heappush(self._queue, (when, self._sequence, callback))
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` after ``delay`` milliseconds."""

@@ -1,0 +1,168 @@
+"""``repro profile`` — wall-clock harness around registered experiments.
+
+Everything else in this package analyzes *simulated* time; this module
+is the repo's one sanctioned wall-clock reader (each
+``time.perf_counter`` call carries an inline ``repro: allow[DET001]``
+marker — the determinism linter keeps every other module honest).  The
+ROADMAP's north star is "as fast as the hardware allows", and you
+cannot keep that promise without measuring it.
+
+``run_profile(name)`` executes one registered experiment with:
+
+* ambient telemetry installed, so every lookup emits the spans the
+  budget/critical-path analyzers need;
+* :class:`~repro.runtime.TrialExecutor` per-trial ``cProfile`` capture
+  (merged in spec order — see :mod:`repro.runtime.capture`);
+* the :func:`repro.netsim.observe_simulators` hook collecting
+  event-loop counters (events processed, events/sec, heap high-water)
+  from every simulator the experiment builds internally.
+
+Trials run serially (``jobs=1``): the counters and the profiler live
+in this process, and a profile sharded over workers would measure the
+pool, not the code.  Profiling observes the interpreter only — the
+trial results and telemetry are byte-identical with it on or off,
+which the test suite asserts via ``result_digest``.
+
+Artifacts: ``<name>-budget.json`` (the ``repro-budget-v1`` document
+``repro slo`` consumes), ``<name>-profile.folded`` (collapsed stacks
+for a flamegraph), and ``BENCH_profile.json`` (the perf-trajectory
+sample ``scripts/bench_compare.py`` gates on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro import telemetry as _telemetry
+from repro.netsim import Simulator, observe_simulators
+from repro.profile.budget import BudgetReport, budget_report
+from repro.profile.profiler import (ProfileEntry, collapsed_stacks,
+                                    render_collapsed, render_profile,
+                                    simulated_profile)
+from repro.runtime import ExperimentRun, ProfileStats, TrialExecutor
+
+#: Schema tag for ``BENCH_profile.json``.
+BENCH_FORMAT = "repro-bench-profile-v1"
+
+
+class ProfileRunResult(NamedTuple):
+    """Everything one harness invocation produced."""
+
+    run: ExperimentRun
+    report: BudgetReport
+    entries: List[ProfileEntry]
+    bench: Dict[str, Any]
+    budget_path: str
+    folded_path: str
+    bench_path: str
+
+
+def _top_functions(stats: Optional[ProfileStats],
+                   top: int) -> List[Dict[str, Any]]:
+    """The ``top`` hottest rows of the merged cProfile table, by cumtime.
+
+    File paths are reduced to basenames so the document compares across
+    machines; ties break on the rendered name for a total order.
+    """
+    if not stats:
+        return []
+    rows: List[Dict[str, Any]] = []
+    for (filename, lineno, funcname), row in stats.items():
+        base = os.path.basename(filename) if filename not in ("~", "") else filename
+        rows.append({
+            "function": f"{base}:{lineno}:{funcname}",
+            "calls": row[1],
+            "tottime_s": round(row[2], 6),
+            "cumtime_s": round(row[3], 6),
+        })
+    rows.sort(key=lambda entry: (-float(entry["cumtime_s"]),
+                                 str(entry["function"])))
+    return rows[:top]
+
+
+def run_profile(name: str,
+                overrides: Optional[Dict[str, object]] = None,
+                out_dir: str = ".",
+                bench_path: Optional[str] = None,
+                top: int = 15) -> ProfileRunResult:
+    """Profile one registered experiment end to end and write artifacts."""
+    from repro.experiments.registry import builtin_registry
+    experiment = builtin_registry().get(name)
+
+    simulators: List[Simulator] = []
+    session = _telemetry.Telemetry()
+    previous = _telemetry.get_default()
+    _telemetry.set_default(session)
+    observe_simulators(simulators.append)
+    started = time.perf_counter()  # repro: allow[DET001]
+    try:
+        run = TrialExecutor(jobs=1, profile=True).run(experiment, overrides)
+    finally:
+        wall_s = time.perf_counter() - started  # repro: allow[DET001]
+        observe_simulators(None)
+        _telemetry.set_default(previous)
+
+    spans = session.tracer.finished
+    report = budget_report(spans)
+    entries = simulated_profile(spans)
+    events = sum(sim.events_processed for sim in simulators)
+    heap_depth = max((sim.max_queue_depth for sim in simulators), default=0)
+    bench: Dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "experiment": name,
+        "ok": run.ok,
+        "wall_s": round(wall_s, 4),
+        "cpu_count": os.cpu_count(),
+        "simulators": len(simulators),
+        "events": events,
+        "events_per_s": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "max_heap_depth": heap_depth,
+        "spans": len(spans),
+        "traces": len(session.tracer.trace_ids()),
+        "top_functions": _top_functions(run.profile_stats, top),
+    }
+
+    os.makedirs(out_dir, exist_ok=True)
+    budget_path = os.path.join(out_dir, f"{name}-budget.json")
+    folded_path = os.path.join(out_dir, f"{name}-profile.folded")
+    resolved_bench = (bench_path if bench_path is not None
+                      else os.path.join(out_dir, "BENCH_profile.json"))
+    report.write(budget_path)
+    with open(folded_path, "w", encoding="utf-8") as handle:
+        handle.write(render_collapsed(collapsed_stacks(spans)))
+    with open(resolved_bench, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return ProfileRunResult(run=run, report=report, entries=entries,
+                            bench=bench, budget_path=budget_path,
+                            folded_path=folded_path,
+                            bench_path=resolved_bench)
+
+
+def render_summary(result: ProfileRunResult, top: int = 15) -> str:
+    """Human-readable harness output: budget, sim profile, wall clock."""
+    bench = result.bench
+    lines = ["== latency budget (simulated ms) ==",
+             result.report.render(), "",
+             "== simulated-time profile ==",
+             render_profile(result.entries, limit=top)]
+    lines.extend([
+        "",
+        "== wall clock ==",
+        f"wall {bench['wall_s']:.3f} s on {bench['cpu_count']} cpu(s); "
+        f"{bench['simulators']} simulators, {bench['events']} events "
+        f"({bench['events_per_s']:.0f}/s), heap depth {bench['max_heap_depth']}",
+        f"artifacts: {result.budget_path}, {result.folded_path}, "
+        f"{result.bench_path}",
+    ])
+    top_rows = bench.get("top_functions", [])
+    if top_rows:
+        lines.append("hottest functions (merged per-trial cProfile, "
+                     "by cumulative time):")
+        for row in top_rows:
+            lines.append(f"  {row['cumtime_s']:9.4f} s  "
+                         f"{row['calls']:9d} calls  {row['function']}")
+    return "\n".join(lines)

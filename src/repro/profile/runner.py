@@ -1,0 +1,120 @@
+"""CLI glue for ``repro profile`` and ``repro slo``.
+
+Mirrors :mod:`repro.check.runner`: ``add_*_arguments`` installs the
+flags on a subparser, ``run_*_cli`` executes a parsed invocation and
+returns the exit status (0 ok, 1 breach/failure, 2 usage error).  The
+heavyweight imports (experiments, the harness) happen lazily so
+``repro slo`` on an existing artifact stays cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags for ``repro profile`` (the experiment name is added by the
+    caller via the registry, like ``repro experiment``)."""
+    parser.add_argument("--out-dir", metavar="DIR", default=".",
+                        help="directory for <name>-budget.json and "
+                             "<name>-profile.folded (default: .)")
+    parser.add_argument("--bench-out", metavar="PATH", default=None,
+                        help="where to write BENCH_profile.json "
+                             "(default: <out-dir>/BENCH_profile.json)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows to show in the profile tables "
+                             "(default: 15)")
+
+
+def run_profile_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro profile`` invocation."""
+    from repro.profile import harness
+    from repro.experiments.registry import builtin_registry
+    experiment = builtin_registry().get(args.artifact)
+    overrides = {param.name: getattr(args, param.name)
+                 for param in experiment.params if param.cli}
+    result = harness.run_profile(args.artifact, overrides,
+                                 out_dir=args.out_dir,
+                                 bench_path=args.bench_out,
+                                 top=args.top)
+    if result.run.failures:
+        print(f"error: {len(result.run.failures)} of "
+              f"{len(result.run.outcomes)} trials failed:", file=sys.stderr)
+        for failure in result.run.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        return 1
+    print(harness.render_summary(result, top=args.top))
+    return 0
+
+
+def add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags for ``repro slo``."""
+    parser.add_argument("rules", metavar="RULES.slo",
+                        help="SLO rule file "
+                             "(<scope> <agg> <metric> <op> <threshold>)")
+    parser.add_argument("--input", metavar="PATH", action="append",
+                        dest="inputs", required=True,
+                        help="artifact to evaluate against: a "
+                             "repro-budget-v1 or repro-telemetry-v1 JSON "
+                             "document (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="stdout format (default: text)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the repro-slo-v1 verdict JSON "
+                             "to PATH (the CI artifact)")
+
+
+def run_slo_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro slo`` invocation."""
+    from repro.profile.slo import SloParseError, evaluate_slo, parse_slo_text
+    try:
+        with open(args.rules, "r", encoding="utf-8") as handle:
+            rules = parse_slo_text(handle.read())
+    except OSError as exc:
+        print(f"error: cannot read rules {args.rules}: {exc}",
+              file=sys.stderr)
+        return 2
+    except SloParseError as exc:
+        print(f"error: {args.rules}: {exc}", file=sys.stderr)
+        return 2
+    if not rules:
+        print(f"error: {args.rules} contains no rules", file=sys.stderr)
+        return 2
+    documents: List[Dict[str, Any]] = []
+    for path in args.inputs:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load artifact {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(document, dict):
+            print(f"error: {path} is not a JSON object", file=sys.stderr)
+            return 2
+        documents.append(document)
+    verdict = evaluate_slo(rules, documents)
+    if args.format == "json":
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(verdict.render_text())
+    if args.out:
+        try:
+            verdict.write(args.out)
+        except OSError as exc:
+            print(f"error: cannot write verdict to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
+    return 0 if verdict.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.profile``) for SLOs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-slo",
+        description="Evaluate declarative latency SLOs over run artifacts")
+    add_slo_arguments(parser)
+    return run_slo_cli(parser.parse_args(argv))

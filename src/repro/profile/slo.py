@@ -1,0 +1,267 @@
+"""Declarative latency SLOs evaluated over run artifacts.
+
+An ``.slo`` file is a list of one-line rules::
+
+    # scope       agg  metric              op  threshold-ms
+    mec-ldns-mec-cdns p99 resolve_ms       <   20
+    mec-ldns-mec-cdns mean stage.radio_ms  <   15
+    *                 p50 resolve_ms       <   120
+
+* **scope** — a deployment key, or ``*`` to pool every deployment;
+* **agg** — ``min``/``max``/``mean``/``p50``/``p90``/``p95``/``p99``;
+* **metric** — ``resolve_ms`` (end-to-end resolution latency) or
+  ``stage.<name>_ms`` (one critical-path stage, see
+  :data:`repro.profile.criticalpath.STAGES`);
+* **op** — ``<``, ``<=``, ``>``, ``>=`` (``>`` rules let a budget
+  assert that, e.g., the WAN deployment really is over budget — a
+  reproduction claim, not just a performance wish);
+* **threshold** — milliseconds.
+
+Rules are evaluated against machine-readable artifacts the toolchain
+already writes: ``repro-budget-v1`` documents (raw samples — any
+quantile computes exactly) and, as a fallback for ``*``-scoped
+``resolve_ms`` rules, the ``repro-telemetry-v1`` metrics artifact
+(quantiles estimated from the ``repro_lookup_latency_ms`` histogram by
+linear interpolation within the bucket, Prometheus-style).
+
+A rule that cannot be evaluated — no matching deployment, no samples —
+**fails**: a gate that silently passes on missing data is worse than no
+gate.  ``repro slo`` renders the verdict as text or a
+``repro-slo-v1`` JSON document and exits 1 on any breach.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (Any, Callable, Dict, Iterable, List, NamedTuple,
+                    Optional, Tuple)
+
+from repro.profile.budget import percentile
+
+#: Metric names answerable from the telemetry-artifact histograms.
+_HISTOGRAM_METRICS = {"resolve_ms": "repro_lookup_latency_ms"}
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<": lambda value, bound: value < bound,
+    "<=": lambda value, bound: value <= bound,
+    ">": lambda value, bound: value > bound,
+    ">=": lambda value, bound: value >= bound,
+}
+
+_AGGS = ("min", "max", "mean", "p50", "p90", "p95", "p99")
+
+
+class SloParseError(ValueError):
+    """A malformed rule line (message carries the line number)."""
+
+
+class SloRule(NamedTuple):
+    """One parsed SLO line."""
+
+    scope: str
+    agg: str
+    metric: str
+    op: str
+    threshold: float
+    source: str
+
+    def describe(self) -> str:
+        """The rule re-rendered in canonical ``.slo`` line form."""
+        return (f"{self.scope} {self.agg} {self.metric} "
+                f"{self.op} {self.threshold:g}")
+
+
+class SloCheck(NamedTuple):
+    """One rule's outcome against the supplied artifacts."""
+
+    rule: SloRule
+    #: Observed aggregate; ``None`` when no data matched the rule.
+    value: Optional[float]
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One check of the ``repro-slo-v1`` document."""
+        return {"rule": self.rule.describe(), "scope": self.rule.scope,
+                "agg": self.rule.agg, "metric": self.rule.metric,
+                "op": self.rule.op, "threshold": self.rule.threshold,
+                "value": self.value, "ok": self.ok, "detail": self.detail}
+
+
+class SloVerdict(NamedTuple):
+    """Every rule's outcome; the gate passes only when all do."""
+
+    checks: List[SloCheck]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The machine-readable ``repro-slo-v1`` verdict document."""
+        return {"format": "repro-slo-v1", "ok": self.ok,
+                "checks": [check.to_dict() for check in self.checks]}
+
+    def render_text(self) -> str:
+        """Human-readable PASS/FAIL lines plus the verdict summary."""
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.ok else "FAIL"
+            shown = ("n/a" if check.value is None
+                     else f"{check.value:.3f}")
+            lines.append(f"[{mark}] {check.rule.describe():48s} "
+                         f"observed {shown} ({check.detail})")
+        verdict = "OK" if self.ok else "BREACH"
+        failed = sum(1 for check in self.checks if not check.ok)
+        lines.append(f"slo: {verdict} — {len(self.checks)} rules, "
+                     f"{failed} failing")
+        return "\n".join(lines)
+
+    def write(self, path: str) -> None:
+        """Serialize :meth:`to_dict` as stable JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def parse_slo_text(text: str) -> List[SloRule]:
+    """Parse the ``.slo`` rule format; raises :class:`SloParseError`."""
+    rules: List[SloRule] = []
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 5:
+            raise SloParseError(
+                f"line {line_no}: expected "
+                f"'<scope> <agg> <metric> <op> <threshold>', got {raw!r}")
+        scope, agg, metric, op, threshold_text = parts
+        if agg not in _AGGS:
+            raise SloParseError(
+                f"line {line_no}: unknown aggregation {agg!r} "
+                f"(use one of {', '.join(_AGGS)})")
+        if op not in _OPS:
+            raise SloParseError(
+                f"line {line_no}: unknown operator {op!r} "
+                f"(use one of {', '.join(_OPS)})")
+        if not (metric == "resolve_ms"
+                or (metric.startswith("stage.") and metric.endswith("_ms"))):
+            raise SloParseError(
+                f"line {line_no}: unknown metric {metric!r} (use "
+                f"'resolve_ms' or 'stage.<name>_ms')")
+        try:
+            threshold = float(threshold_text)
+        except ValueError as error:
+            raise SloParseError(
+                f"line {line_no}: bad threshold {threshold_text!r}"
+            ) from error
+        rules.append(SloRule(scope=scope, agg=agg, metric=metric, op=op,
+                             threshold=threshold, source=line))
+    return rules
+
+
+def _aggregate(samples: List[float], agg: str) -> float:
+    if agg == "min":
+        return min(samples)
+    if agg == "max":
+        return max(samples)
+    if agg == "mean":
+        return sum(samples) / len(samples)
+    return percentile(samples, float(agg[1:]))
+
+
+def _budget_samples(rule: SloRule,
+                    documents: List[Dict[str, Any]]) -> List[float]:
+    """Raw samples matching the rule across all budget documents."""
+    samples: List[float] = []
+    for document in documents:
+        if document.get("format") != "repro-budget-v1":
+            continue
+        for row in document.get("rows", []):
+            if rule.scope != "*" and row.get("deployment") != rule.scope:
+                continue
+            if rule.metric == "resolve_ms":
+                samples.extend(row.get("resolve_ms", {}).get("samples", []))
+            else:
+                stage = rule.metric[len("stage."):-len("_ms")]
+                entry = row.get("stages", {}).get(stage)
+                if entry is not None:
+                    samples.extend(entry.get("samples", []))
+    return samples
+
+
+def _histogram_estimate(rule: SloRule,
+                        documents: List[Dict[str, Any]]
+                        ) -> Optional[float]:
+    """Estimate the rule's aggregate from a telemetry-artifact histogram.
+
+    Only ``*``-scoped rules over histogram-backed metrics can use this
+    path (the histogram is not labeled by deployment).  Quantiles use
+    Prometheus-style linear interpolation within the containing bucket.
+    """
+    name = _HISTOGRAM_METRICS.get(rule.metric)
+    if name is None or rule.scope != "*":
+        return None
+    for document in documents:
+        if document.get("format") != "repro-telemetry-v1":
+            continue
+        for metric in document.get("metrics", []):
+            if metric.get("name") != name or metric.get("kind") != "histogram":
+                continue
+            for sample in metric.get("samples", []):
+                count = sample.get("count", 0)
+                if not count:
+                    continue
+                buckets = [(float("inf") if bucket["le"] == "+Inf"
+                            else float(bucket["le"]), int(bucket["count"]))
+                           for bucket in sample.get("buckets", [])]
+                return _histogram_agg(rule.agg, count,
+                                      float(sample.get("sum", 0.0)), buckets)
+    return None
+
+
+def _histogram_agg(agg: str, count: int, total: float,
+                   buckets: List[Tuple[float, int]]) -> Optional[float]:
+    if agg == "mean":
+        return total / count
+    if agg in ("min",):
+        return None  # a histogram cannot bound the minimum
+    if agg == "max":
+        quantile = 100.0
+    else:
+        quantile = float(agg[1:])
+    target = (quantile / 100.0) * count
+    lower = 0.0
+    cumulative_prev = 0
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            if bound == float("inf"):
+                return lower  # unbounded tail: best available estimate
+            in_bucket = cumulative - cumulative_prev
+            if in_bucket <= 0:
+                return bound
+            fraction = (target - cumulative_prev) / in_bucket
+            return lower + (bound - lower) * fraction
+        cumulative_prev = cumulative
+        if bound != float("inf"):
+            lower = bound
+    return lower
+
+
+def evaluate_slo(rules: Iterable[SloRule],
+                 documents: List[Dict[str, Any]]) -> SloVerdict:
+    """Check every rule against the loaded artifact documents."""
+    checks: List[SloCheck] = []
+    for rule in rules:
+        samples = _budget_samples(rule, documents)
+        if samples:
+            value: Optional[float] = _aggregate(samples, rule.agg)
+            detail = f"{len(samples)} samples"
+        else:
+            value = _histogram_estimate(rule, documents)
+            detail = ("histogram estimate" if value is not None
+                      else "no matching data")
+        ok = value is not None and _OPS[rule.op](value, rule.threshold)
+        checks.append(SloCheck(rule=rule, value=value, ok=ok, detail=detail))
+    return SloVerdict(checks=checks)

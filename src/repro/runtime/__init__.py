@@ -20,8 +20,9 @@ pickled :class:`Experiment` instances rather than importing modules by
 name.  See ``docs/RUNTIME.md`` for the full tour.
 """
 
-from repro.runtime.capture import (TelemetrySnapshot, begin_trial_capture,
-                                   end_trial_capture, merge_snapshot)
+from repro.runtime.capture import (ProfileStats, TelemetrySnapshot,
+                                   begin_trial_capture, end_trial_capture,
+                                   merge_profile_stats, merge_snapshot)
 from repro.runtime.executor import (ExperimentRun, TrialExecutor,
                                     TrialFailure, TrialOutcome)
 from repro.runtime.experiment import (Experiment, Param, jsonify,
@@ -35,6 +36,7 @@ __all__ = [
     "ExperimentRegistry",
     "ExperimentRun",
     "Param",
+    "ProfileStats",
     "TelemetrySnapshot",
     "TrialExecutor",
     "TrialFailure",
@@ -45,6 +47,7 @@ __all__ = [
     "end_trial_capture",
     "freeze_cell",
     "jsonify",
+    "merge_profile_stats",
     "merge_snapshot",
     "result_digest",
 ]

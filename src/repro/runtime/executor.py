@@ -16,7 +16,11 @@ Both backends uphold the same contract:
   trials still run, and ``merge`` is skipped only when something failed;
 * when ambient telemetry is installed, each trial collects into its own
   fresh facade and the snapshots are merged after the barrier, in spec
-  order (see :mod:`repro.runtime.capture`).
+  order (see :mod:`repro.runtime.capture`);
+* when wall-clock profiling is requested (``profile=True``), each trial
+  runs under its own ``cProfile.Profile`` and the raw tables are folded
+  together after the barrier, in spec order — same discipline, so the
+  merged profile is identical across backends.
 
 Workers never import experiment modules by name — the experiment
 *instance* travels inside the pickled task, and unpickling performs the
@@ -31,8 +35,10 @@ import traceback
 from typing import List, Mapping, NamedTuple, Optional, Tuple
 
 from repro import telemetry as _telemetry
-from repro.runtime.capture import (TelemetrySnapshot, begin_trial_capture,
-                                   end_trial_capture, merge_snapshot)
+from repro.runtime.capture import (ProfileStats, TelemetrySnapshot,
+                                   begin_profile_capture, begin_trial_capture,
+                                   end_profile_capture, end_trial_capture,
+                                   merge_profile_stats, merge_snapshot)
 from repro.runtime.experiment import Experiment
 from repro.runtime.spec import TrialSpec
 
@@ -66,6 +72,9 @@ class ExperimentRun(NamedTuple):
     #: The merged artifact; ``None`` when any trial failed.
     result: Optional[object]
     outcomes: List[TrialOutcome]
+    #: Merged per-trial cProfile tables (spec order), when profiling was
+    #: requested via ``TrialExecutor(profile=True)``; ``None`` otherwise.
+    profile_stats: Optional[ProfileStats] = None
 
     @property
     def failures(self) -> List[TrialFailure]:
@@ -79,16 +88,18 @@ class ExperimentRun(NamedTuple):
 
 
 class _TrialTask(NamedTuple):
-    """What crosses the process boundary, pickled: recipe, cell, flag."""
+    """What crosses the process boundary, pickled: recipe, cell, flags."""
 
     experiment: Experiment
     spec: TrialSpec
     capture: bool
+    profile: bool
 
 
 class _TrialDone(NamedTuple):
     outcome: TrialOutcome
     snapshot: Optional[TelemetrySnapshot]
+    profile: Optional[ProfileStats]
 
 
 def _run_trial_task(task: _TrialTask) -> _TrialDone:
@@ -98,6 +109,7 @@ def _run_trial_task(task: _TrialTask) -> _TrialDone:
     the serial backend's body, so both backends share one code path.
     """
     facade = begin_trial_capture(task.capture)
+    profiler = begin_profile_capture(task.profile)
     failure: Optional[TrialFailure] = None
     payload: Optional[object] = None
     try:
@@ -106,20 +118,26 @@ def _run_trial_task(task: _TrialTask) -> _TrialDone:
         failure = TrialFailure(
             spec=task.spec, error=type(error).__name__,
             message=str(error), traceback=traceback.format_exc())
+    profile = end_profile_capture(profiler)
     snapshot = end_trial_capture(facade)
     return _TrialDone(
         outcome=TrialOutcome(spec=task.spec, payload=payload,
                              failure=failure),
-        snapshot=snapshot)
+        snapshot=snapshot, profile=profile)
 
 
 class TrialExecutor:
     """Runs trial plans serially or across a process pool."""
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, profile: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        #: When true, each trial runs under its own ``cProfile.Profile``
+        #: and the merged table lands on ``ExperimentRun.profile_stats``.
+        #: The profiler observes the interpreter, not the simulation, so
+        #: results and telemetry are identical either way.
+        self.profile = profile
 
     def run(self, experiment: Experiment,
             overrides: Optional[Mapping[str, object]] = None,
@@ -137,6 +155,8 @@ class TrialExecutor:
             # After the barrier, in spec order — never completion order.
             for item in done:
                 merge_snapshot(session, item.snapshot)
+        # Same discipline for profiles: fold after the barrier, spec order.
+        profile_stats = merge_profile_stats([item.profile for item in done])
         outcomes = [item.outcome for item in done]
         failed = any(outcome.failure is not None for outcome in outcomes)
         result: Optional[object] = None
@@ -146,7 +166,7 @@ class TrialExecutor:
         return ExperimentRun(
             experiment=experiment.name,
             params=tuple(sorted(params.items(), key=lambda item: item[0])),
-            result=result, outcomes=outcomes)
+            result=result, outcomes=outcomes, profile_stats=profile_stats)
 
     # -- backends -----------------------------------------------------------
 
@@ -157,14 +177,15 @@ class TrialExecutor:
         try:
             for spec in specs:
                 done.append(_run_trial_task(
-                    _TrialTask(experiment, spec, capture)))
+                    _TrialTask(experiment, spec, capture, self.profile)))
         finally:
             _telemetry.set_default(session)
         return done
 
     def _run_pool(self, experiment: Experiment, specs: List[TrialSpec],
                   capture: bool) -> List[_TrialDone]:
-        tasks = [_TrialTask(experiment, spec, capture) for spec in specs]
+        tasks = [_TrialTask(experiment, spec, capture, self.profile)
+                 for spec in specs]
         context = self._context()
         workers = min(self.jobs, len(specs))
         with context.Pool(processes=workers) as pool:

@@ -87,17 +87,26 @@ def to_chrome_trace(spans: Iterable[Span],
 
     Each distinct span track (host or link name) becomes one "thread" so
     the viewer lays traces out per simulated host; simulated
-    milliseconds become trace microseconds.
+    milliseconds become trace microseconds.  Parent → child links that
+    *cross tracks* (a stub attempt spawning a transit hop, a query
+    landing on another host's server span) additionally emit flow
+    events (``ph: "s"``/``"f"``), so Perfetto draws the causality
+    arrows between hosts instead of leaving cross-track children
+    orphaned.
     """
     events: List[Dict[str, Any]] = [{
         "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
         "args": {"name": process_name},
     }]
     tids: Dict[str, int] = {}
+    by_id: Dict[int, Span] = {}
+    finished: List[Span] = []
     span_events: List[Dict[str, Any]] = []
     for span in spans:
         if span.end_ms is None:
             continue
+        finished.append(span)
+        by_id[span.span_id] = span
         tid = tids.get(span.track)
         if tid is None:
             tid = tids[span.track] = len(tids) + 1
@@ -121,7 +130,26 @@ def to_chrome_trace(spans: Iterable[Span],
             "args": args,
         })
     span_events.sort(key=lambda event: (event["ts"], event["tid"]))
-    return {"traceEvents": events + span_events,
+    flow_events: List[Dict[str, Any]] = []
+    for span in finished:
+        parent = (by_id.get(span.parent_id)
+                  if span.parent_id is not None else None)
+        if parent is None or parent.track == span.track:
+            continue
+        # One flow per cross-track edge, id'd by the child span: an "s"
+        # (start) on the parent's track, an "f" (finish, binding to the
+        # enclosing slice) on the child's, both at the child's start.
+        common = {"name": f"{parent.name} -> {span.name}", "cat": "flow",
+                  "pid": 1, "ts": span.start_ms * _US_PER_MS,
+                  "id": span.span_id}
+        flow_events.append({**common, "ph": "s",
+                            "tid": tids[parent.track]})
+        flow_events.append({**common, "ph": "f", "bp": "e",
+                            "tid": tids[span.track]})
+    # "s" sorts before "f" at equal (ts, id), keeping each pair ordered.
+    flow_events.sort(key=lambda event: (event["ts"], event["id"],
+                                        0 if event["ph"] == "s" else 1))
+    return {"traceEvents": events + span_events + flow_events,
             "displayTimeUnit": "ms",
             "otherData": {"clock": "simulated", "time_unit_in": "ms"}}
 

@@ -122,6 +122,24 @@ class TestContract:
                 "from repro.runtime import spec\n"})
         assert layering.analyze(tree) == []
 
+    def test_profile_layer_in_contract(self):
+        # profile is a leaf analysis consumer: it may read the whole
+        # stack below it but nothing may import it back.
+        assert layering.DEFAULT_CONTRACT["profile"] == frozenset(
+            {"errors", "telemetry", "netsim", "runtime", "experiments"})
+        assert "profile" in layering.SIM_LAYERS
+        for package, allowed in layering.DEFAULT_CONTRACT.items():
+            if package not in ("profile", "cli", "__init__", "__main__"):
+                assert "profile" not in allowed, package
+
+    def test_experiments_may_not_import_profile(self, tmp_path):
+        tree = fake_repo(tmp_path, {
+            "repro/profile/__init__.py": "",
+            "repro/experiments/__init__.py": "",
+            "repro/experiments/figure5.py":
+                "from repro.profile import budget\n"})
+        assert "ARCH001" in rules_of(layering.analyze(tree))
+
     def test_inline_suppression(self, tmp_path):
         tree = fake_repo(tmp_path, {
             "repro/netsim/engine.py":

@@ -1,0 +1,35 @@
+"""Shared fixtures for the profile-analysis tests.
+
+The float-identity and attribution tests all want the same thing: one
+real figure5 run's spans.  The run is deterministic, so a module-scoped
+fixture per test file would re-run it needlessly — a session-scoped
+fixture executes it exactly once for the whole test package.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.registry import builtin_registry
+from repro.runtime import TrialExecutor
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_default():
+    """Every test starts and ends without an ambient default telemetry."""
+    telemetry.clear_default()
+    yield
+    telemetry.clear_default()
+
+
+@pytest.fixture(scope="session")
+def figure5_session():
+    """One traced figure5 run (all six deployments, 6 queries each)."""
+    session = telemetry.Telemetry()
+    telemetry.set_default(session)
+    try:
+        run = TrialExecutor(jobs=1).run(builtin_registry().get("figure5"),
+                                        {"queries": 6})
+    finally:
+        telemetry.clear_default()
+    assert run.ok
+    return session, run

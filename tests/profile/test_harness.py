@@ -1,0 +1,86 @@
+"""Tests for the ``repro profile`` wall-clock harness.
+
+The load-bearing claim: profiling only observes the interpreter — the
+trial results digest byte-identically with the profiler on or off.
+"""
+
+import json
+
+from repro import telemetry
+from repro.experiments.registry import builtin_registry
+from repro.profile.harness import run_profile, render_summary
+from repro.runtime import TrialExecutor, result_digest
+
+
+class TestRunProfile:
+    def test_artifacts_and_bench_document(self, tmp_path):
+        result = run_profile("figure5", {"queries": 2},
+                             out_dir=str(tmp_path), top=5)
+        assert result.run.ok
+        assert result.run.profile_stats
+
+        budget = json.loads((tmp_path / "figure5-budget.json").read_text())
+        assert budget["format"] == "repro-budget-v1"
+        assert len(budget["rows"]) == 6  # every deployment option
+        for row in budget["rows"]:
+            assert row["resolve_ms"]["samples"]
+
+        folded = (tmp_path / "figure5-profile.folded").read_text()
+        assert folded.splitlines()
+        for line in folded.splitlines():
+            stack, _, value = line.rpartition(" ")
+            assert stack and int(value) >= 1
+
+        bench = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        assert bench == result.bench
+        assert bench["format"] == "repro-bench-profile-v1"
+        assert bench["experiment"] == "figure5" and bench["ok"]
+        assert bench["simulators"] == 6
+        assert bench["events"] > 0 and bench["spans"] > 0
+        assert bench["max_heap_depth"] > 0
+        assert bench["wall_s"] > 0 and bench["events_per_s"] > 0
+        assert bench["top_functions"]
+        hottest = bench["top_functions"][0]
+        assert set(hottest) == {"function", "calls", "tottime_s", "cumtime_s"}
+
+    def test_profiling_does_not_perturb_results(self, tmp_path):
+        experiment = builtin_registry().get("figure5")
+        plain = TrialExecutor(jobs=1).run(experiment, {"queries": 2})
+        assert plain.profile_stats is None
+        result = run_profile("figure5", {"queries": 2},
+                             out_dir=str(tmp_path))
+        assert result_digest(result.run.result) == \
+            result_digest(plain.result)
+
+    def test_ambient_telemetry_restored(self, tmp_path):
+        mine = telemetry.Telemetry()
+        telemetry.set_default(mine)
+        run_profile("figure5", {"queries": 2}, out_dir=str(tmp_path))
+        # The harness installed its own session and put mine back —
+        # without collecting the profiled run into it.
+        assert telemetry.get_default() is mine
+        assert len(mine.tracer.finished) == 0
+
+    def test_render_summary_sections(self, tmp_path):
+        result = run_profile("figure5", {"queries": 2},
+                             out_dir=str(tmp_path), top=3)
+        text = render_summary(result, top=3)
+        assert "latency budget" in text
+        assert "simulated-time profile" in text
+        assert "wall clock" in text
+        assert "hottest functions" in text
+        assert str(tmp_path / "figure5-budget.json") in text
+
+
+class TestProfileCli:
+    def test_cli_runs_and_prints_summary(self, tmp_path, capsys):
+        from repro.cli import main
+        bench = tmp_path / "bench.json"
+        assert main(["profile", "figure5", "--queries", "2",
+                     "--out-dir", str(tmp_path),
+                     "--bench-out", str(bench), "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "latency budget" in out and "wall clock" in out
+        assert bench.exists()
+        assert (tmp_path / "figure5-budget.json").exists()
+        assert (tmp_path / "figure5-profile.folded").exists()

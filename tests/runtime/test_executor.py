@@ -8,7 +8,7 @@ import pytest
 
 from repro import telemetry
 from repro.runtime import (Experiment, Param, TrialExecutor, derive_seed,
-                           result_digest)
+                           merge_profile_stats, result_digest)
 
 
 class SquareExperiment(Experiment):
@@ -144,3 +144,51 @@ class TestTelemetryCapture:
         run = TrialExecutor(jobs=1).run(SquareExperiment(), {"count": 2})
         assert run.ok
         assert telemetry.get_default() is None
+
+
+def _run_trial_row(stats):
+    """The merged cProfile row for the experiment's ``run_trial``."""
+    rows = [row for (_, _, funcname), row in stats.items()
+            if funcname == "run_trial"]
+    assert len(rows) == 1
+    return rows[0]
+
+
+class TestProfileCapture:
+    def test_profiling_off_by_default(self):
+        run = TrialExecutor(jobs=1).run(SquareExperiment())
+        assert run.ok
+        assert run.profile_stats is None
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_per_trial_profiles_merge_across_backends(self, jobs):
+        run = TrialExecutor(jobs=jobs, profile=True).run(
+            SquareExperiment(), {"count": 6})
+        assert run.ok
+        stats = run.profile_stats
+        assert stats
+        # Rows are (cc, nc, tt, ct, callers); run_trial is called once
+        # per trial, so the merged table must account for all six —
+        # regardless of which worker profiled which trial.
+        cc, nc, _, ct, _ = _run_trial_row(stats)
+        assert cc == nc == 6
+        assert ct >= 0.0
+
+    def test_profiling_does_not_change_results(self):
+        experiment = SquareExperiment()
+        plain = TrialExecutor(jobs=1).run(experiment, {"count": 5})
+        profiled = TrialExecutor(jobs=1, profile=True).run(
+            experiment, {"count": 5})
+        assert profiled.result == plain.result
+        assert result_digest(profiled.result) == result_digest(plain.result)
+
+    def test_merge_profile_stats_adds_componentwise(self):
+        func = ("toy.py", 1, "f")
+        caller = ("toy.py", 9, "main")
+        first = {func: (2, 2, 0.5, 1.0, {caller: (2, 2, 0.5, 1.0)})}
+        second = {func: (3, 4, 0.25, 0.5, {caller: (3, 4, 0.25, 0.5)})}
+        merged = merge_profile_stats([first, None, second])
+        cc, nc, tt, ct, callers = merged[func]
+        assert (cc, nc, tt, ct) == (5, 6, 0.75, 1.5)
+        assert callers[caller] == (5, 6, 0.75, 1.5)
+        assert merge_profile_stats([None, None]) is None
