@@ -131,6 +131,33 @@ class TrafficRouter(DnsServer):
             self._rings[default_zone.name] = _HashRing(default_zone.caches)
         self.routed = 0
         self.referred_to_next_tier = 0
+        self.zone_updates = 0
+
+    # -- live reconfiguration ---------------------------------------------------
+
+    def set_zone_caches(self, zone_name: str,
+                        caches: List[CacheServer]) -> None:
+        """Install a new cache set for a coverage zone, live.
+
+        The dynamic control plane (``repro.control``) calls this when a
+        *propagated* zone version changes the endpoint set — the router
+        routes on its propagated view, not on orchestrator ground truth,
+        which is exactly what makes staleness windows measurable.  The
+        consistent-hash ring for the zone is rebuilt in place.
+        """
+        for index, zone in enumerate(self.zones):
+            if zone.name == zone_name:
+                updated = zone._replace(caches=list(caches))
+                self.zones[index] = updated
+                self._rings[zone_name] = _HashRing(updated.caches)
+                self.zone_updates += 1
+                return
+        if self.default_zone is not None and self.default_zone.name == zone_name:
+            self.default_zone = self.default_zone._replace(caches=list(caches))
+            self._rings[zone_name] = _HashRing(self.default_zone.caches)
+            self.zone_updates += 1
+            return
+        raise ValueError(f"no coverage zone named {zone_name!r}")
 
     # -- selection --------------------------------------------------------------
 

@@ -46,13 +46,13 @@ RULES: Dict[str, str] = {
 #: scheduler or mutate simulation state.
 SIM_LAYERS = frozenset({
     "netsim", "faults", "resolver", "cdn", "mobile", "mec", "core",
-    "measure", "runtime", "experiments", "profile", "cli",
+    "control", "measure", "runtime", "experiments", "profile", "cli",
 })
 
 _EVERYTHING = frozenset({
     "errors", "dnswire", "netsim", "telemetry", "faults", "resolver",
-    "cdn", "mobile", "mec", "core", "measure", "runtime", "experiments",
-    "profile", "check", "cli",
+    "cdn", "mobile", "mec", "core", "control", "measure", "runtime",
+    "experiments", "profile", "check", "cli",
 })
 
 #: layer -> layers it may import.  Top-level modules (``cli``,
@@ -71,6 +71,11 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
                       "telemetry"}),
     "core": frozenset({"errors", "dnswire", "netsim", "telemetry",
                        "resolver", "cdn", "mobile", "mec"}),
+    # The dynamic control plane assembles over built testbeds: it may
+    # reach every simulation layer below it, but experiments/measure
+    # drive it, never the reverse.
+    "control": frozenset({"errors", "dnswire", "netsim", "telemetry",
+                          "resolver", "cdn", "mobile", "mec", "core"}),
     "measure": frozenset({"errors", "dnswire", "netsim", "telemetry",
                           "resolver", "core"}),
     # The execution runtime is generic machinery: it may see telemetry

@@ -9,10 +9,11 @@ the registry generates the flags.
 
 from __future__ import annotations
 
-from repro.experiments import (access_latency, capacity, disaggregation,
-                               ecs, envelope_sweep, figure2, figure3,
-                               figure5, mislocalization, overload,
-                               resilience, table1, table2)
+from repro.experiments import (access_latency, capacity, churn,
+                               disaggregation, ecs, envelope_sweep,
+                               figure2, figure3, figure5,
+                               mislocalization, overload, resilience,
+                               table1, table2)
 from repro.runtime import ExperimentRegistry
 
 
@@ -21,6 +22,7 @@ def builtin_registry() -> ExperimentRegistry:
     registry = ExperimentRegistry()
     for module in (table1, table2, figure2, figure3, figure5, ecs,
                    mislocalization, disaggregation, envelope_sweep,
-                   overload, access_latency, capacity, resilience):
+                   overload, access_latency, capacity, resilience,
+                   churn):
         registry.register(module.EXPERIMENT)
     return registry

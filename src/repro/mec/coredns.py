@@ -18,7 +18,7 @@ front of the chain to implement the public/internal split.
 from __future__ import annotations
 
 import random
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.dnswire.message import (Message, ResourceRecord, make_query,
                                    make_response, mark_stale)
@@ -53,6 +53,13 @@ class CachePlugin(Plugin):
                       else DnsCache(serve_stale=serve_stale))
         self._owner: Optional[DnsServer] = None
         self.stale_served = 0
+        #: Control-plane hook: returns True while a zone/endpoint update
+        #: is still propagating (see ``repro.control``).  Stale answers
+        #: handed out inside that window are the dangerous ones — they
+        #: may point at endpoints the orchestrator already removed — so
+        #: they are counted separately.
+        self.churn_window: Optional[Callable[[], bool]] = None
+        self.stale_served_during_churn = 0
 
     def bind(self, owner: DnsServer) -> None:
         """Attach the plugin to its owning server (for clock access)."""
@@ -96,6 +103,14 @@ class CachePlugin(Plugin):
                                       answers=stale.records)
                 if stale.stale:
                     mark_stale(reply)
+                    if self.churn_window is not None and self.churn_window():
+                        self.stale_served_during_churn += 1
+                        if tel is not None:
+                            tel.metrics.counter(
+                                "repro_coredns_serve_stale_during_churn_total",
+                                "RFC 8767 stale answers served while a "
+                                "control-plane update was still "
+                                "propagating").inc(server=self._owner.name)
                 return reply
         if response is not None and response.rcode == Rcode.NOERROR \
                 and response.answers:

@@ -5,6 +5,13 @@ performed either as part of the cellular hand-off process, or explicitly".
 :class:`HandoffController` implements the hand-off-integrated variant:
 tear down the source radio link, bring up the target one, and let the
 target base station push its MEC DNS endpoint to the UE.
+
+The controller is also the handover side of the churn attribution story
+(see ``repro.control``): every handoff emits a telemetry event and a
+``repro_handoffs_total`` counter, and lookups measured *after* a handoff
+can be reported back via :meth:`HandoffController.note_post_handoff_lookup`
+so experiments can split tail latency and mislocalization between "the UE
+moved" and "the zone data was stale".
 """
 
 from __future__ import annotations
@@ -32,6 +39,14 @@ class HandoffController:
     def __init__(self, network: Network) -> None:
         self.network = network
         self.history: List[HandoffRecord] = []
+        #: Lookups reported after a handoff, and how many of them came
+        #: back pointing at a cache that was not local/alive any more.
+        self.post_handoff_lookups = 0
+        self.mislocalized_after_handoff = 0
+
+    @property
+    def handoffs(self) -> int:
+        return len(self.history)
 
     def handoff(self, ue: UserEquipment, target: BaseStation) -> HandoffRecord:
         """Move ``ue`` from its current cell to ``target``.
@@ -54,4 +69,34 @@ class HandoffController:
             source=source.name, target=target.name,
             dns_switched=ue._dns != dns_before)
         self.history.append(record)
+        tel = self.network.telemetry
+        if tel is not None:
+            tel.tracer.event("handoff", "mobile", "handoff-controller",
+                             ue=ue.name, source=source.name,
+                             target=target.name,
+                             dns_switched=record.dns_switched)
+            tel.metrics.counter(
+                "repro_handoffs_total",
+                "completed UE handoffs between base stations").inc(
+                    target=target.name, dns_switched=str(record.dns_switched))
         return record
+
+    def note_post_handoff_lookup(self, ue: UserEquipment,
+                                 mislocalized: bool) -> None:
+        """Attribute one post-handoff lookup outcome to this controller.
+
+        Experiments call this for every lookup the UE performs after its
+        first handoff; ``mislocalized`` means the answer did not point at
+        a live local cache.  The split feeds the churn experiment's
+        handover-vs-staleness attribution.
+        """
+        self.post_handoff_lookups += 1
+        if mislocalized:
+            self.mislocalized_after_handoff += 1
+        tel = self.network.telemetry
+        if tel is not None:
+            tel.metrics.counter(
+                "repro_post_handoff_lookups_total",
+                "lookups measured after a handoff, by localization "
+                "outcome").inc(ue=ue.name,
+                               mislocalized=str(mislocalized))

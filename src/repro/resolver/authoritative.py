@@ -28,7 +28,8 @@ class AuthoritativeServer(DnsServer):
 
     def __init__(self, network, host, zones: Iterable[Zone],
                  ecs_enabled: bool = False, allow_axfr: bool = True,
-                 rotate_answers: bool = False, **kwargs) -> None:
+                 rotate_answers: bool = False,
+                 journal_depth: Optional[int] = None, **kwargs) -> None:
         super().__init__(network, host, **kwargs)
         self.zones = {zone.origin: zone for zone in zones}
         self.ecs_enabled = ecs_enabled
@@ -40,9 +41,16 @@ class AuthoritativeServer(DnsServer):
         self._rotation_counter = 0
         self.axfr_served = 0
         self.ixfr_served = 0
+        #: IXFR requests answered with a full AXFR-style payload because
+        #: the client's serial had aged out of the bounded journal.
+        self.ixfr_axfr_fallbacks = 0
         # Change history so updates can be served incrementally (RFC 1995).
-        from repro.resolver.xfr import ZoneJournal
-        self.journal = ZoneJournal()
+        # ``journal_depth`` bounds it; a secondary whose serial has aged
+        # out of the bounded history gets a full AXFR instead.
+        from repro.resolver.xfr import DEFAULT_JOURNAL_DEPTH, ZoneJournal
+        self.journal = ZoneJournal(depth=(DEFAULT_JOURNAL_DEPTH
+                                          if journal_depth is None
+                                          else journal_depth))
 
     def add_zone(self, zone: Zone) -> None:
         """Host (or replace) a zone; replacements are journalled for IXFR."""
@@ -183,6 +191,7 @@ class AuthoritativeServer(DnsServer):
         if deltas:
             answers = ixfr_response_records(zone, deltas)
         else:
+            self.ixfr_axfr_fallbacks += 1
             answers = axfr_response_records(zone)
         return make_response(query, authoritative=True, answers=answers)
 

@@ -16,7 +16,7 @@ reload) are implemented:
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Callable, Generator, List, Optional
 
 from repro.dnswire.message import ResourceRecord
 from repro.dnswire.name import Name
@@ -72,6 +72,10 @@ def diff_zones(old: Zone, new: Zone) -> ZoneDelta:
         added=sorted(new_records - old_records, key=lambda r: str(r.name)))
 
 
+#: Default bound on retained IXFR history per origin.
+DEFAULT_JOURNAL_DEPTH = 16
+
+
 class ZoneJournal:
     """Per-origin history of change sets, for serving IXFR.
 
@@ -79,7 +83,7 @@ class ZoneJournal:
     falls back to a full transfer, exactly as real servers do.
     """
 
-    def __init__(self, depth: int = 16) -> None:
+    def __init__(self, depth: int = DEFAULT_JOURNAL_DEPTH) -> None:
         if depth < 1:
             raise ValueError("journal depth must be >= 1")
         self.depth = depth
@@ -142,6 +146,22 @@ def apply_ixfr(zone: Zone, answers: List[ResourceRecord]) -> Zone:
         return zone  # already current
     if answers[1].rtype != RecordType.SOA:
         return zone_from_axfr(zone.origin, answers)
+    if answers[1].rdata == answers[0].rdata:
+        # AXFR-style fallback of a zone holding nothing but its SOA:
+        # [SOA, SOA] with equal rdata is a full transfer, not a diff
+        # whose first old-SOA happens to equal the new one.
+        return zone_from_axfr(zone.origin, answers)
+    if zone.soa is not None:
+        first_old = answers[1].rdata
+        ours = zone.soa.rdata
+        if isinstance(first_old, SOA) and isinstance(ours, SOA) \
+                and first_old.serial != ours.serial:
+            # The diff chain starts at a serial we do not hold; applying
+            # it would silently install a corrupt zone.  Raising makes
+            # the secondary fall back to a full AXFR instead.
+            raise ZoneError(
+                f"IXFR diff starts at serial {first_old.serial}, "
+                f"but we hold {ours.serial}; refusing to apply")
 
     updated = Zone(zone.origin)
     for record in zone.records():
@@ -219,6 +239,13 @@ class SecondaryZone:
         self.axfr_transfers = 0
         self.ixfr_transfers = 0
         self.refreshes = 0
+        self.notifies = 0
+        #: (simulated time, serial) per installed transfer, oldest first
+        #: — the propagation evidence the control plane reads.
+        self.install_log: List[tuple] = []
+        #: Called as ``on_install(time, serial)`` after every installed
+        #: transfer; the control plane hangs its apply step here.
+        self.on_install: Optional[Callable[[float, int], None]] = None
         self._running = False
 
     @property
@@ -308,6 +335,22 @@ class SecondaryZone:
     def _install(self, zone: Zone) -> None:
         self.server.add_zone(zone)
         self.transfers += 1
+        serial = (zone.soa.rdata.serial  # type: ignore[attr-defined]
+                  if zone.soa is not None else -1)
+        self.install_log.append((self.network.sim.now, serial))
+        if self.on_install is not None:
+            self.on_install(self.network.sim.now, serial)
+
+    # -- NOTIFY (RFC 1996) -------------------------------------------------
+
+    def notify(self) -> Generator:
+        """Out-of-cycle refresh, as a primary's NOTIFY triggers it.
+
+        Returns True when a transfer was installed.
+        """
+        self.notifies += 1
+        transferred = yield from self.refresh_once()
+        return transferred
 
     # -- continuous maintenance ---------------------------------------------------
 

@@ -31,6 +31,7 @@ OVERRIDES = {
     "access-latency": {"rounds": 3},
     "capacity": {"duration_ms": 250.0, "rates": (500.0, 3000.0)},
     "resilience": {"queries": 3},
+    "churn": {"queries": 3},
 }
 
 REGISTRY = builtin_registry()
