@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Benchmark the population workload engine: end-to-end queries/sec.
+
+Drives one deployment's calibrated mesoscale engine at ``--target-queries``
+scale (default 10^6) through the ``population`` experiment, twice — serial
+and ``--jobs 2`` — asserting the digests match, and records throughput
+and peak RSS into ``BENCH_workload.json``.  This number is the baseline
+ROADMAP item 2 (the netsim hot-path overhaul) is measured against: the
+engine column is where mesoscale simulation is today; the calibration
+column is the full packet-level simulator's cost for the same lookups.
+
+    PYTHONPATH=src python scripts/bench_workload.py [--out BENCH_workload.json]
+
+Wall-clock timing lives here, outside ``src/repro``, on purpose — the
+library stays free of real-time reads so ``repro check``'s determinism
+linter keeps its zero-findings guarantee.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import resource
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.population import EXPERIMENT  # noqa: E402
+from repro.runtime import TrialExecutor, result_digest  # noqa: E402
+from repro.workload import CALIBRATION_QUERIES, calibrate  # noqa: E402
+
+#: The deployment the headline number runs against: the paper's winner,
+#: and the one whose routing path exercises the consistent-hash ring.
+DEPLOYMENT = "mec-ldns-mec-cdns"
+
+
+def _peak_rss_mb() -> float:
+    """Peak RSS of this process so far, in MiB (Linux: KiB units)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _timed_run(overrides, jobs):
+    started = time.perf_counter()
+    run = TrialExecutor(jobs=jobs).run(EXPERIMENT, overrides)
+    elapsed = time.perf_counter() - started
+    if not run.ok:
+        for failure in run.failures:
+            print(f"  FAILED {failure.describe()}", file=sys.stderr)
+        raise SystemExit(f"population failed with jobs={jobs}")
+    return elapsed, run.result, result_digest(run.result)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_workload.json")
+    parser.add_argument("--target-queries", type=int, default=1_000_000,
+                        help="queries to drive through the deployment "
+                             "(default: 1,000,000)")
+    parser.add_argument("--districts", type=int, default=2)
+    parser.add_argument("--allocation", default="content",
+                        choices=("content", "client", "client-bounded"))
+    args = parser.parse_args()
+    if args.target_queries < 1:
+        parser.error("--target-queries must be >= 1")
+
+    # How fast is the packet-level simulator for the same lookups?  Time
+    # one calibration batch; that per-query cost is the bar the
+    # mesoscale engine clears and ROADMAP item 2 must raise.
+    started = time.perf_counter()
+    calibrate(DEPLOYMENT, seed=42)
+    calibration_s = time.perf_counter() - started
+    fullsim_qps = CALIBRATION_QUERIES / calibration_s
+    print(f"full-fidelity baseline: {CALIBRATION_QUERIES} queries in "
+          f"{calibration_s:.2f} s ({fullsim_qps:,.0f} q/s)")
+
+    overrides = {
+        "target_queries": args.target_queries,
+        "districts": args.districts,
+        "deployment": DEPLOYMENT,
+        "allocation": args.allocation,
+    }
+    print(f"population: {args.target_queries:,} queries targeted at "
+          f"{DEPLOYMENT}, {args.districts} districts, "
+          f"allocation={args.allocation}")
+
+    serial_s, serial_result, serial_digest = _timed_run(overrides, 1)
+    row = serial_result.row(DEPLOYMENT)
+    serial_qps = row.queries / serial_s if serial_s else 0.0
+    print(f"  jobs=1: {row.queries:,} queries in {serial_s:.2f} s "
+          f"({serial_qps:,.0f} q/s)")
+
+    sharded_s, sharded_result, sharded_digest = _timed_run(overrides, 2)
+    sharded_qps = (sharded_result.row(DEPLOYMENT).queries / sharded_s
+                   if sharded_s else 0.0)
+    print(f"  jobs=2: {sharded_s:.2f} s ({sharded_qps:,.0f} q/s)")
+    if sharded_digest != serial_digest:
+        raise SystemExit(f"sharded digest diverged from serial "
+                         f"({sharded_digest} != {serial_digest})")
+    print(f"  digests match ({serial_digest[:12]}...)")
+
+    peak_mb = _peak_rss_mb()
+    print(f"  peak RSS {peak_mb:.0f} MiB "
+          f"(streaming aggregates: no per-query records)")
+
+    document = {
+        "benchmark": "repro.workload population engine throughput",
+        "deployment": DEPLOYMENT,
+        "target_queries": args.target_queries,
+        "districts": args.districts,
+        "allocation": args.allocation,
+        "cpu_count": os.cpu_count(),
+        "fullsim": {
+            "queries": CALIBRATION_QUERIES,
+            "seconds": round(calibration_s, 3),
+            "qps": round(fullsim_qps, 1),
+        },
+        "engine": {
+            "queries": row.queries,
+            "serial_s": round(serial_s, 3),
+            "serial_qps": round(serial_qps, 1),
+            "jobs2_s": round(sharded_s, 3),
+            "jobs2_qps": round(sharded_qps, 1),
+            "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
+            "peak_rss_mb": round(peak_mb, 1),
+        },
+        "result": {
+            "localization": round(row.localization, 4),
+            "hit_rate": round(row.hit_rate, 4),
+            "dns_p50_ms": round(row.dns.p50, 2),
+            "total_p99_ms": round(row.total.p99, 2),
+            "total_p999_ms": round(row.total.p999, 2),
+        },
+        "digest": serial_digest,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

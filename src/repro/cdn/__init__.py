@@ -12,8 +12,12 @@ measures:
 * :mod:`repro.cdn.providers` — the provider CIDR pools from Figure 3
   (Akamai, Fastly, Amazon CloudFront, Edgecast/Verizon) and the Table 1
   site catalog.
+* :mod:`repro.cdn.allocation` — consistent-hash rings and bounded-load
+  user-traffic allocation (Huang et al.), shared by the router and the
+  population workload engine.
 * :mod:`repro.cdn.router` — the C-DNS traffic router: coverage zones,
-  consistent hashing, ECS scoping, next-tier referral.
+  consistent hashing, ECS scoping, next-tier referral, and pluggable
+  content/client/client-bounded allocation policies.
 * :mod:`repro.cdn.hierarchy` — edge/mid/far cache tiers with miss
   referral.
 * :mod:`repro.cdn.broker` — CDN broker that splits a domain's traffic
@@ -21,7 +25,9 @@ measures:
 * :mod:`repro.cdn.httpsim` — the client side of the GET protocol.
 """
 
-from repro.cdn.content import ContentCatalog, ContentItem, ZipfWorkload
+from repro.cdn.allocation import ConsistentAllocator, HashRing
+from repro.cdn.content import (ContentCatalog, ContentItem, ZipfRankStream,
+                               ZipfWorkload)
 from repro.cdn.policy import EvictionPolicy, LruPolicy, LfuPolicy, FifoPolicy
 from repro.cdn.cache_server import CacheServer, CacheStats
 from repro.cdn.geo import GeoPoint, GeoIpDatabase, haversine_km
@@ -39,8 +45,11 @@ from repro.cdn.broker import CdnBroker
 from repro.cdn.httpsim import HttpClient, FetchResult
 
 __all__ = [
+    "ConsistentAllocator",
+    "HashRing",
     "ContentCatalog",
     "ContentItem",
+    "ZipfRankStream",
     "ZipfWorkload",
     "EvictionPolicy",
     "LruPolicy",

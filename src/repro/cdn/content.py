@@ -3,11 +3,16 @@
 Content items are the static objects (``.img``, ``.js``, ``.css``, video
 segments) the paper's Table 1 sites serve through CDN domains.  The
 catalog indexes them by URL; :class:`ZipfWorkload` generates the
-popularity-skewed request streams CDN evaluations conventionally use.
+popularity-skewed request streams CDN evaluations conventionally use,
+and :class:`ZipfRankStream` is its O(1)-memory core: an exact Zipf(s)
+rank sampler that never materializes per-item weight tables, so the
+population workload engine can draw from 10^7-object synthetic catalogs
+without building 10^7-entry lists.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Iterator, List, Sequence
 
@@ -105,33 +110,95 @@ class ContentCatalog:
         return items
 
 
+class ZipfRankStream:
+    """An exact Zipf(s) rank sampler in O(1) memory.
+
+    Draws ranks in ``1..n`` with ``P(rank=k) ∝ k^(-s)`` by rejection
+    against the continuous envelope ``x^(-s)`` on ``[1, n+1)``: invert
+    the envelope's CDF, floor to an integer candidate, and accept with
+    the (monotone, ≤1) ratio of the discrete mass to the envelope mass
+    over the candidate's unit cell.  Unlike the inverse-CDF table walk,
+    nothing here scales with ``n`` — no weight list, no cumulative
+    array — so a 10^7-object catalog costs the same as a 10-object one.
+    Valid for any exponent ``s > 0`` (both branches of the envelope
+    integral are handled, including ``s = 1``).
+    """
+
+    __slots__ = ("n", "exponent", "_rng", "_one_minus_s", "_total",
+                 "_cell_one")
+
+    def __init__(self, n: int, rng: random.Random,
+                 exponent: float = 0.9) -> None:
+        if n < 1:
+            raise ValueError(f"rank stream needs n >= 1, got {n}")
+        if exponent <= 0:
+            raise ValueError(f"Zipf exponent must be positive, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng
+        self._one_minus_s = 1.0 - exponent
+        #: Envelope mass over [1, n+1): integral of x^(-s).
+        self._total = self._integral(float(n + 1))
+        #: Envelope mass over the first unit cell [1, 2) — the rejection
+        #: ratio's normalizer (the ratio is maximal at rank 1).
+        self._cell_one = self._integral(2.0)
+
+    def _integral(self, x: float) -> float:
+        """∫_1^x t^(-s) dt, with the s = 1 logarithmic branch."""
+        if abs(self._one_minus_s) < 1e-12:
+            return math.log(x)
+        return (x ** self._one_minus_s - 1.0) / self._one_minus_s
+
+    def _inverse(self, area: float) -> float:
+        """The x with ∫_1^x t^(-s) dt = ``area`` (envelope CDF inverse)."""
+        if abs(self._one_minus_s) < 1e-12:
+            return math.exp(area)
+        return (1.0 + area * self._one_minus_s) ** (1.0 / self._one_minus_s)
+
+    def next_rank(self) -> int:
+        """Draw one rank in ``1..n`` (1 = most popular)."""
+        if self.n == 1:
+            return 1
+        while True:
+            x = self._inverse(self._rng.random() * self._total)
+            k = int(x)
+            if k < 1:
+                k = 1
+            elif k > self.n:
+                k = self.n
+            cell = self._integral(float(k + 1)) - self._integral(float(k))
+            # target/envelope ratio, normalized by its maximum (rank 1).
+            accept = (k ** -self.exponent) * self._cell_one / cell
+            if self._rng.random() <= accept:
+                return k
+
+    def ranks(self, count: int) -> Iterator[int]:
+        """Yield ``count`` successive ranks."""
+        for _ in range(count):
+            yield self.next_rank()
+
+
 class ZipfWorkload:
-    """A Zipf(s)-distributed request stream over a fixed item list."""
+    """A Zipf(s)-distributed request stream over a fixed item list.
+
+    Popularity rank follows item order (``items[0]`` is the most
+    popular).  Sampling delegates to :class:`ZipfRankStream`, so the
+    per-item weight and cumulative tables the original implementation
+    built are gone; only the caller's item list itself is retained.
+    """
 
     def __init__(self, items: Sequence[ContentItem], rng: random.Random,
                  exponent: float = 0.9) -> None:
         if not items:
             raise ValueError("workload needs at least one item")
-        if exponent <= 0:
-            raise ValueError(f"Zipf exponent must be positive, got {exponent}")
         self.items = list(items)
         self.exponent = exponent
         self._rng = rng
-        weights = [1.0 / (rank ** exponent)
-                   for rank in range(1, len(self.items) + 1)]
-        total = sum(weights)
-        self._cumulative: List[float] = []
-        acc = 0.0
-        for weight in weights:
-            acc += weight / total
-            self._cumulative.append(acc)
+        self._ranks = ZipfRankStream(len(self.items), rng, exponent=exponent)
 
     def next_item(self) -> ContentItem:
         """Draw the next requested item from the Zipf distribution."""
-        import bisect
-        point = self._rng.random()
-        index = bisect.bisect_left(self._cumulative, point)
-        return self.items[min(index, len(self.items) - 1)]
+        return self.items[self._ranks.next_rank() - 1]
 
     def requests(self, count: int) -> Iterator[ContentItem]:
         """Yield ``count`` successive requests."""

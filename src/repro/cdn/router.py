@@ -17,10 +17,10 @@ for the requesting client:
 
 from __future__ import annotations
 
-import hashlib
 import ipaddress
-from typing import Callable, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
+from repro.cdn.allocation import ConsistentAllocator, HashRing
 from repro.cdn.cache_server import CacheServer
 from repro.dnswire.edns import ClientSubnet
 from repro.dnswire.message import Message, ResourceRecord, make_response
@@ -74,31 +74,13 @@ class CoverageZone(NamedTuple):
         return best >= 0, max(best, 0)
 
 
-class _HashRing:
-    """Consistent hashing of names onto cache servers."""
+#: Backwards-compatible alias: the ring now lives in
+#: :mod:`repro.cdn.allocation` so the workload layer can share the exact
+#: hash geometry, but router-local users (and tests) keep this name.
+_HashRing = HashRing
 
-    def __init__(self, caches: List[CacheServer], vnodes: int = 64) -> None:
-        self._ring: List[Tuple[int, CacheServer]] = []
-        for cache in caches:
-            for vnode in range(vnodes):
-                digest = hashlib.sha256(
-                    f"{cache.name}#{vnode}".encode()).digest()
-                self._ring.append((int.from_bytes(digest[:8], "big"), cache))
-        self._ring.sort(key=lambda pair: pair[0])
-
-    def pick(self, key: str,
-             predicate: Callable[[CacheServer], bool]) -> Optional[CacheServer]:
-        if not self._ring:
-            return None
-        import bisect
-        point = int.from_bytes(
-            hashlib.sha256(key.encode()).digest()[:8], "big")
-        index = bisect.bisect_left(self._ring, (point, None))  # type: ignore[arg-type]
-        for step in range(len(self._ring)):
-            _, cache = self._ring[(index + step) % len(self._ring)]
-            if predicate(cache):
-                return cache
-        return None
+#: Recognized traffic-allocation policies (see :class:`TrafficRouter`).
+ALLOCATION_POLICIES = ("content", "client", "client-bounded")
 
 
 class TrafficRouter(DnsServer):
@@ -112,8 +94,24 @@ class TrafficRouter(DnsServer):
                  content_available: Optional[Callable[[Name], bool]] = None,
                  ecs_enabled: bool = False,
                  health_check: Optional[Callable[[CacheServer], bool]] = None,
+                 allocation: str = "content",
+                 allocation_epsilon: float = 0.25,
                  **kwargs) -> None:
         super().__init__(network, host, **kwargs)
+        if allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATION_POLICIES}, "
+                f"got {allocation!r}")
+        #: Traffic-allocation policy.  ``"content"`` (the default, and
+        #: the historical behavior) hashes the query name so content
+        #: concentrates on few caches.  ``"client"`` hashes the client
+        #: address so each user sticks to one cache regardless of
+        #: content.  ``"client-bounded"`` is Huang et al.'s consistent
+        #: user-traffic allocation: sticky per-client assignment with
+        #: bounded loads, so no cache holds more than
+        #: ``ceil((1+eps) * clients / caches)`` users.
+        self.allocation = allocation
+        self.allocation_epsilon = allocation_epsilon
         #: Predicate deciding whether a cache is eligible; defaults to the
         #: ground-truth online flag, or wire in a
         #: :class:`repro.cdn.health.HealthMonitor`'s belief instead.
@@ -129,9 +127,33 @@ class TrafficRouter(DnsServer):
         self._rings = {zone.name: _HashRing(zone.caches) for zone in zones}
         if default_zone is not None and default_zone.name not in self._rings:
             self._rings[default_zone.name] = _HashRing(default_zone.caches)
+        self._allocators: Dict[str, ConsistentAllocator] = {}
+        self._caches_by_name: Dict[str, Dict[str, CacheServer]] = {}
+        if allocation == "client-bounded":
+            for zone in self._all_zones():
+                self._install_allocator(zone)
         self.routed = 0
         self.referred_to_next_tier = 0
         self.zone_updates = 0
+
+    def _all_zones(self) -> List[CoverageZone]:
+        zones = list(self.zones)
+        if (self.default_zone is not None
+                and all(zone.name != self.default_zone.name
+                        for zone in zones)):
+            zones.append(self.default_zone)
+        return zones
+
+    def _install_allocator(self, zone: CoverageZone) -> None:
+        names = [cache.name for cache in zone.caches]
+        existing = self._allocators.get(zone.name)
+        if existing is None:
+            self._allocators[zone.name] = ConsistentAllocator(
+                names, epsilon=self.allocation_epsilon)
+        else:
+            existing.set_members(names)
+        self._caches_by_name[zone.name] = {
+            cache.name: cache for cache in zone.caches}
 
     # -- live reconfiguration ---------------------------------------------------
 
@@ -150,11 +172,15 @@ class TrafficRouter(DnsServer):
                 updated = zone._replace(caches=list(caches))
                 self.zones[index] = updated
                 self._rings[zone_name] = _HashRing(updated.caches)
+                if self.allocation == "client-bounded":
+                    self._install_allocator(updated)
                 self.zone_updates += 1
                 return
         if self.default_zone is not None and self.default_zone.name == zone_name:
             self.default_zone = self.default_zone._replace(caches=list(caches))
             self._rings[zone_name] = _HashRing(self.default_zone.caches)
+            if self.allocation == "client-bounded":
+                self._install_allocator(self.default_zone)
             self.zone_updates += 1
             return
         raise ValueError(f"no coverage zone named {zone_name!r}")
@@ -179,9 +205,25 @@ class TrafficRouter(DnsServer):
         zone, matched_prefix = self.zone_for(client_ip)
         if zone is None:
             return None, 0
+        if self.allocation == "client-bounded":
+            return self._select_bounded(zone, client_ip), matched_prefix
         ring = self._rings[zone.name]
-        cache = ring.pick(str(qname).lower(), predicate=self.health_check)
+        key = (str(qname).lower() if self.allocation == "content"
+               else client_ip)
+        cache = ring.pick(key, predicate=self.health_check)
         return cache, matched_prefix
+
+    def _select_bounded(self, zone: CoverageZone,
+                        client_ip: str) -> Optional[CacheServer]:
+        allocator = self._allocators[zone.name]
+        by_name = self._caches_by_name[zone.name]
+
+        def eligible(name: str) -> bool:
+            cache = by_name.get(name)
+            return cache is not None and self.health_check(cache)
+
+        chosen = allocator.assign(client_ip, eligible=eligible)
+        return by_name.get(chosen) if chosen is not None else None
 
     # -- query handling ---------------------------------------------------------------
 

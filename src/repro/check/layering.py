@@ -46,13 +46,14 @@ RULES: Dict[str, str] = {
 #: scheduler or mutate simulation state.
 SIM_LAYERS = frozenset({
     "netsim", "faults", "resolver", "cdn", "mobile", "mec", "core",
-    "control", "measure", "runtime", "experiments", "profile", "cli",
+    "control", "measure", "runtime", "workload", "experiments",
+    "profile", "cli",
 })
 
 _EVERYTHING = frozenset({
     "errors", "dnswire", "netsim", "telemetry", "faults", "resolver",
     "cdn", "mobile", "mec", "core", "control", "measure", "runtime",
-    "experiments", "profile", "check", "cli",
+    "workload", "experiments", "profile", "check", "cli",
 })
 
 #: layer -> layers it may import.  Top-level modules (``cli``,
@@ -78,6 +79,12 @@ DEFAULT_CONTRACT: Dict[str, FrozenSet[str]] = {
                           "resolver", "cdn", "mobile", "mec", "core"}),
     "measure": frozenset({"errors", "dnswire", "netsim", "telemetry",
                           "resolver", "core"}),
+    # Population-scale workload synthesis: mesoscale models calibrated
+    # from full-fidelity testbeds, so it sits above core/measure; the
+    # runtime dependency is derive_seed only (sub-seeded UE streams).
+    "workload": frozenset({"errors", "dnswire", "netsim", "telemetry",
+                           "resolver", "cdn", "mobile", "mec", "core",
+                           "measure", "runtime"}),
     # The execution runtime is generic machinery: it may see telemetry
     # (per-trial capture) but never the experiments that plug into it --
     # workers receive pickled Experiment instances, not module imports.

@@ -12,8 +12,8 @@ from __future__ import annotations
 from repro.experiments import (access_latency, capacity, churn,
                                disaggregation, ecs, envelope_sweep,
                                figure2, figure3, figure5,
-                               mislocalization, overload, resilience,
-                               table1, table2)
+                               mislocalization, overload, population,
+                               resilience, table1, table2)
 from repro.runtime import ExperimentRegistry
 
 
@@ -23,6 +23,6 @@ def builtin_registry() -> ExperimentRegistry:
     for module in (table1, table2, figure2, figure3, figure5, ecs,
                    mislocalization, disaggregation, envelope_sweep,
                    overload, access_latency, capacity, resilience,
-                   churn):
+                   churn, population):
         registry.register(module.EXPERIMENT)
     return registry

@@ -5,14 +5,20 @@
 * :mod:`repro.measure.runner` — repeated-query drivers that split each
   lookup into wireless vs. resolver time using a P-GW packet trace,
   reproducing the paper's dig + tcpdump methodology (Figure 5).
+* :mod:`repro.measure.histogram` — streaming, mergeable log-binned
+  latency aggregation for population-scale runs, where per-sample
+  retention (the :class:`SummaryStats` way) would not fit in memory.
 """
 
 from repro.measure.stats import SummaryStats, summarize, trimmed, percentile
+from repro.measure.histogram import HistogramSummary, LatencyHistogram
 from repro.measure.runner import (MeasurementRun, QueryMeasurement,
                                   RetryStats, measure_deployment_queries,
                                   measure_deployment_run)
 
 __all__ = [
+    "HistogramSummary",
+    "LatencyHistogram",
     "SummaryStats",
     "summarize",
     "trimmed",

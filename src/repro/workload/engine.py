@@ -1,0 +1,269 @@
+"""The population workload engine: drive a deployment at city scale.
+
+One :func:`run_district` call simulates a *district*: an independent
+slice of the city (its own UEs, MEC sites, and caches) running one
+calibrated deployment for a stretch of simulated time.  Districts are
+the sharding unit — the experiment's trial plan is identical serial
+and sharded, and a district's result depends only on its config and
+seed — so merging district stats in spec order keeps the runtime's
+byte-identical contract for free.
+
+Per request the engine composes exactly the decisions the packet-level
+stack makes, without the packets:
+
+* DNS cost sampled from the deployment's calibrated wireless/resolver
+  legs (:mod:`repro.workload.deployment`);
+* cache selection through the *same* consistent-hash geometry the
+  traffic router uses (:mod:`repro.cdn.allocation`) — content hashing,
+  client hashing, or Huang et al.'s bounded-load client allocation —
+  for the client-aware MEC deployments, or the anchor cache for the
+  client-blind warmed resolvers (the paper's mislocalization);
+* LRU hit/miss at the selected cache, with intra-site, inter-site, and
+  origin-fill legs priced from the testbed's link constants;
+* inter-site mobility and mid-session handover interruptions
+  (:mod:`repro.workload.mobility`).
+
+Aggregation is streaming only: two :class:`LatencyHistogram` instances
+and exact counters.  Nothing in this module retains per-query records.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.cdn.allocation import ConsistentAllocator, HashRing
+from repro.cdn.content import ZipfRankStream
+from repro.measure.histogram import LatencyHistogram
+from repro.runtime.spec import derive_seed
+from repro.workload.arrivals import DiurnalProfile, NhppArrivals
+from repro.workload.caches import RankLru
+from repro.workload.deployment import (INTER_SITE_LEG, INTRA_SITE_LEG,
+                                       ORIGIN_LEG, ORIGIN_SERVICE_MS,
+                                       DeploymentModel)
+from repro.workload.mobility import HANDOVER_INTERRUPTION_MS, MobilityModel
+from repro.workload.population import Population, UserProfile
+from repro.workload.sessions import SessionModel
+
+#: Recognized traffic-allocation policies (mirrors the router's).
+ALLOCATION_POLICIES = ("content", "client", "client-bounded")
+
+
+class DistrictConfig(NamedTuple):
+    """Everything that defines one district's workload."""
+
+    ues: int
+    sites: int
+    caches_per_site: int
+    #: Objects each cache can hold.
+    cache_capacity: int
+    #: Synthetic catalog size (never materialized).
+    catalog_size: int
+    zipf_exponent: float
+    #: Simulated span of the run, seconds.
+    duration_s: float
+    #: Day-average sessions per UE per hour.
+    sessions_per_ue_hour: float
+    mean_requests: float
+    mean_think_s: float
+    move_probability: float
+    handover_probability: float
+    allocation: str
+    #: Simulated start time (seconds past midnight) — picks the diurnal
+    #: window the run covers.
+    start_s: float = 0.0
+
+
+class DistrictStats(NamedTuple):
+    """One district's streaming aggregates (mergeable, picklable)."""
+
+    queries: int
+    sessions: int
+    active_ues: int
+    hits: int
+    #: Requests served by a cache at the UE's current site.
+    localized: int
+    handovers: int
+    #: Requests served per (site, cache), flattened site-major — the
+    #: load-balance evidence for the allocation policies.
+    cache_load: List[int]
+    dns: LatencyHistogram
+    total: LatencyHistogram
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def localization(self) -> float:
+        return self.localized / self.queries if self.queries else 0.0
+
+    def load_imbalance(self) -> float:
+        """max/mean over per-cache serve counts (1.0 = perfectly flat)."""
+        if not self.cache_load or not self.queries:
+            return 0.0
+        mean = sum(self.cache_load) / len(self.cache_load)
+        return max(self.cache_load) / mean if mean else 0.0
+
+
+def merge_stats(parts: List[DistrictStats]) -> DistrictStats:
+    """Fold district stats in the given order (exact counters, merged
+    histograms); the caller supplies spec order for determinism."""
+    if not parts:
+        empty = LatencyHistogram()
+        return DistrictStats(0, 0, 0, 0, 0, 0, [], empty, LatencyHistogram())
+    cache_load = list(parts[0].cache_load)
+    dns = LatencyHistogram()
+    total = LatencyHistogram()
+    queries = sessions = active = hits = localized = handovers = 0
+    for part in parts:
+        queries += part.queries
+        sessions += part.sessions
+        active += part.active_ues
+        hits += part.hits
+        localized += part.localized
+        handovers += part.handovers
+        dns.merge(part.dns)
+        total.merge(part.total)
+    for part in parts[1:]:
+        if len(part.cache_load) != len(cache_load):
+            raise ValueError("districts have mismatched cache grids")
+        for index, load in enumerate(part.cache_load):
+            cache_load[index] += load
+    return DistrictStats(
+        queries=queries, sessions=sessions, active_ues=active, hits=hits,
+        localized=localized, handovers=handovers, cache_load=cache_load,
+        dns=dns, total=total)
+
+
+class _Router:
+    """The district's cache-selection logic, shared-geometry with the
+    production router."""
+
+    def __init__(self, config: DistrictConfig) -> None:
+        if config.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATION_POLICIES}, "
+                f"got {config.allocation!r}")
+        self.config = config
+        names = [[f"site{site}-cache{cache}"
+                  for cache in range(config.caches_per_site)]
+                 for site in range(config.sites)]
+        self._index: Dict[str, int] = {}
+        for site, row in enumerate(names):
+            for cache, name in enumerate(row):
+                self._index[name] = site * config.caches_per_site + cache
+        self._rings: List[HashRing] = [
+            HashRing(row, name_of=lambda member: str(member))
+            for row in names]
+        self._allocators: Optional[List[ConsistentAllocator]] = None
+        if config.allocation == "client-bounded":
+            self._allocators = [ConsistentAllocator(row) for row in names]
+
+    def select(self, site: int, content_key: str,
+               client_key: str) -> int:
+        """The flat cache index serving this request from ``site``."""
+        if self._allocators is not None:
+            chosen = self._allocators[site].assign(client_key)
+        elif self.config.allocation == "client":
+            picked = self._rings[site].pick(client_key)
+            chosen = str(picked) if picked is not None else None
+        else:
+            picked = self._rings[site].pick(content_key)
+            chosen = str(picked) if picked is not None else None
+        if chosen is None:  # pragma: no cover - rings are never empty
+            raise RuntimeError("empty cache ring")
+        return self._index[chosen]
+
+
+def run_district(config: DistrictConfig, model: DeploymentModel,
+                 seed: int) -> DistrictStats:
+    """Simulate one district and return its streaming aggregates.
+
+    ``seed`` roots the district's population; every UE's behaviour is a
+    pure function of ``derive_seed(seed, "ue", index)``, so the result
+    is independent of process placement.
+    """
+    population = Population(config.ues, config.sites, seed)
+    profile = DiurnalProfile()
+    arrivals = NhppArrivals(
+        config.sessions_per_ue_hour / 3600.0, profile)
+    session_model = SessionModel(mean_requests=config.mean_requests,
+                                 mean_think_s=config.mean_think_s)
+    mobility = MobilityModel(config.sites,
+                             move_probability=config.move_probability,
+                             handover_probability=config.handover_probability)
+    router = _Router(config)
+    caches = [RankLru(config.cache_capacity)
+              for _ in range(config.sites * config.caches_per_site)]
+    cache_load = [0] * len(caches)
+    dns_hist = LatencyHistogram()
+    total_hist = LatencyHistogram()
+    queries = sessions = active = hits = localized = handovers = 0
+
+    anchor_cache = 0  # client-blind resolvers answer site 0, cache 0
+    per_site = config.caches_per_site
+
+    for index in range(config.ues):
+        ue: UserProfile = population.user(index)
+        rng: random.Random = population.user_rng(ue)
+        zipf = ZipfRankStream(config.catalog_size, rng,
+                              exponent=config.zipf_exponent)
+        client_key = ue.client_ip()
+        ue_sessions = 0
+        for start in arrivals.times(rng, config.duration_s,
+                                    start_s=config.start_s):
+            requests = session_model.request_count(rng)
+            placement = mobility.place_session(rng, ue.home_site, requests)
+            site = placement.site
+            ue_sessions += 1
+            for ordinal in range(requests):
+                interruption = 0.0
+                if ordinal == placement.handover_at:
+                    site = placement.handover_site
+                    handovers += 1
+                    interruption = HANDOVER_INTERRUPTION_MS
+                rank = zipf.next_rank()
+                content_key = f"obj{rank:07d}.pop.mycdn.ciab.test"
+                if model.localized:
+                    cache_index = router.select(site, content_key,
+                                                client_key)
+                else:
+                    cache_index = anchor_cache
+                served_site = cache_index // per_site
+                hit = caches[cache_index].lookup(rank)
+                cache_load[cache_index] += 1
+
+                dns_ms = model.dns_ms(rng) + interruption
+                latency = dns_ms
+                fetch_leg = (INTRA_SITE_LEG if served_site == site
+                             else INTER_SITE_LEG)
+                # Round trip to the cache: request + response legs.
+                latency += 2.0 * fetch_leg.sample(rng)
+                if hit:
+                    hits += 1
+                else:
+                    latency += (2.0 * ORIGIN_LEG.sample(rng)
+                                + ORIGIN_SERVICE_MS)
+                if served_site == site:
+                    localized += 1
+                queries += 1
+                dns_hist.add(dns_ms)
+                total_hist.add(latency)
+                # Think time advances the session clock; the diurnal
+                # multiplier is per-session (sessions are minutes long,
+                # buckets are hours), so the clock only gates overflow.
+                start += session_model.think_time(rng)
+        if ue_sessions:
+            active += 1
+            sessions += ue_sessions
+
+    return DistrictStats(
+        queries=queries, sessions=sessions, active_ues=active, hits=hits,
+        localized=localized, handovers=handovers, cache_load=cache_load,
+        dns=dns_hist, total=total_hist)
+
+
+def district_seed(base: int, deployment: str, shard: int) -> int:
+    """The population seed for ``shard`` of ``deployment``'s sweep."""
+    return derive_seed(base, "district", deployment, shard)

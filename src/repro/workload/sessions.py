@@ -1,0 +1,48 @@
+"""Per-UE session models: how many requests, how far apart.
+
+A *session* is one burst of CDN activity (opening an app, watching a
+few video segments): a geometrically-distributed number of requests
+separated by exponential think times.  Both draws come from the per-UE
+RNG stream, so a UE's behaviour is a pure function of its sub-seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SessionModel:
+    """Request-count and think-time draws for one session."""
+
+    def __init__(self, mean_requests: float = 8.0,
+                 mean_think_s: float = 4.0,
+                 min_requests: int = 1) -> None:
+        if mean_requests < min_requests:
+            raise ValueError(
+                f"mean_requests {mean_requests} below floor {min_requests}")
+        if mean_think_s <= 0:
+            raise ValueError(f"think time must be positive, got {mean_think_s}")
+        if min_requests < 1:
+            raise ValueError(f"sessions need >= 1 request, got {min_requests}")
+        self.mean_requests = mean_requests
+        self.mean_think_s = mean_think_s
+        self.min_requests = min_requests
+        #: Geometric success probability giving the requested mean above
+        #: the floor: E[floor + G] = floor + (1-p)/p.
+        excess = mean_requests - min_requests
+        self._p = 1.0 / (1.0 + excess)
+
+    def request_count(self, rng: random.Random) -> int:
+        """Number of requests in one session (geometric, >= floor)."""
+        count = self.min_requests
+        while rng.random() >= self._p:
+            count += 1
+        return count
+
+    def think_time(self, rng: random.Random) -> float:
+        """Seconds between consecutive requests in a session."""
+        return rng.expovariate(1.0 / self.mean_think_s)
+
+    def __repr__(self) -> str:
+        return (f"SessionModel(mean_requests={self.mean_requests}, "
+                f"think={self.mean_think_s}s)")

@@ -93,8 +93,8 @@ class TestPropagation:
         # apply has happened, so the router has not been rebuilt.
         assert plane.site.cdns.zone_updates == 0
         zone_name = f"{plane.site.name}-edge"
-        ring_caches = {cache.endpoint.ip for _, cache
-                       in plane.site.cdns._rings[zone_name]._ring}
+        ring_caches = {cache.endpoint.ip for cache
+                       in plane.site.cdns._rings[zone_name].members()}
         assert ring_caches != set(plane.driver.live)
 
     def test_partition_delays_apply_until_heal(self):

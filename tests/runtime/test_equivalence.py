@@ -32,6 +32,8 @@ OVERRIDES = {
     "capacity": {"duration_ms": 250.0, "rates": (500.0, 3000.0)},
     "resilience": {"queries": 3},
     "churn": {"queries": 3},
+    "population": {"target_queries": 320, "catalog": 2000,
+                   "cache_capacity": 50},
 }
 
 REGISTRY = builtin_registry()

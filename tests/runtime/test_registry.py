@@ -87,7 +87,7 @@ class TestBuiltinRegistry:
                          "figure5", "ecs", "mislocalization",
                          "disaggregation", "envelope-sweep", "overload",
                          "access-latency", "capacity", "resilience",
-                         "churn"]
+                         "churn", "population"]
 
     def test_union_flags_are_consistent(self):
         params = {param.name for param in builtin_registry().cli_params()}
