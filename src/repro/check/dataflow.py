@@ -1,0 +1,268 @@
+"""RNG rules: stream-provenance dataflow.
+
+The repo's sub-seeding discipline says every ``random.Random`` flows
+from :func:`repro.runtime.spec.derive_seed` (or
+``RandomStreams.stream``, which is the same SHA-256 derivation) or is
+handed in by the caller — never conjured from a constant, never shared
+through module or class state, and never smuggled across the process
+boundary inside a pickled trial spec.  The DET rules catch line-local
+slips; these rules track the rng *values*:
+
+========  ==============================================================
+RNG001    ``random.Random`` seeded from a hard-coded constant — the
+          stream is identical in every trial instead of sub-seeded
+RNG002    rng (or stream factory) stored on a module global — one
+          mutable stream shared by every trial in the process
+RNG003    rng stored as a class attribute — one stream shared by every
+          instance
+RNG004    one rng stream handed to two independent consumers in the
+          same scope — their draws are coupled, so adding a draw to one
+          perturbs the other
+RNG005    rng captured into a ``TrialSpec``/executor task — rng state
+          crosses the process boundary and diverges between backends
+========  ==============================================================
+
+A value is *rng-typed* when it comes from ``random.Random(...)``, a
+``.stream(...)`` call (the ``RandomStreams`` factory idiom), or a
+parameter named/annotated as an rng.  Seed provenance is accepted from
+``derive_seed``/``.stream`` calls, function parameters, attribute loads
+(caller-supplied state like ``spec.seed``), and hash-derivation
+(``int.from_bytes(hashlib...)``) — only constant-built seeds are
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.check.callgraph import FunctionNode, ImportResolver
+from repro.check.findings import Finding
+from repro.check.sources import SourceModule, SourceTree
+
+ANALYZER_NAME = "rng"
+
+RULES: Dict[str, str] = {
+    "RNG001": "random.Random seeded from a constant (no derive_seed "
+              "provenance)",
+    "RNG002": "RNG stored on a module global (stream shared across trials)",
+    "RNG003": "RNG stored on a class attribute (stream shared across "
+              "instances)",
+    "RNG004": "one rng stream consumed by two independent call sites",
+    "RNG005": "rng captured into a TrialSpec/executor task crossing the "
+              "process boundary",
+}
+
+#: Callees whose arguments are pickled and shipped to worker processes.
+_BOUNDARY_CALLEES = frozenset({"TrialSpec", "_TrialTask", "freeze_cell"})
+
+#: Parameter names treated as caller-supplied rng streams.
+_RNG_PARAM_NAMES = ("rng", "rand", "stream")
+
+
+def _is_rng_param(name: str) -> bool:
+    return name in _RNG_PARAM_NAMES or name.endswith("_rng")
+
+
+class _ModuleRng:
+    """Per-module RNG dataflow state and rule evaluation."""
+
+    def __init__(self, module: SourceModule, tree: SourceTree) -> None:
+        self.module = module
+        self.tree = tree
+        self.resolver = ImportResolver(module.tree)
+        self.findings: List[Finding] = []
+
+    # -- classification -----------------------------------------------------
+
+    def _is_random_ctor(self, node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and self.resolver.dotted(node.func) == "random.Random")
+
+    def _is_stream_call(self, node: ast.AST) -> bool:
+        """``X.stream(...)`` — the RandomStreams factory idiom."""
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stream")
+
+    def _is_streams_ctor(self, node: ast.AST) -> bool:
+        dotted = (self.resolver.dotted(node.func)
+                  if isinstance(node, ast.Call) else None)
+        return dotted is not None and dotted.endswith("RandomStreams")
+
+    def _is_rng_expr(self, node: ast.AST) -> bool:
+        return self._is_random_ctor(node) or self._is_stream_call(node)
+
+    def _constant_only(self, node: ast.expr) -> bool:
+        """Whether ``node`` is built purely from literals — no provenance."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Name, ast.Attribute, ast.Call,
+                                ast.Subscript)):
+                return False
+        return True
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        finding = self.tree.finding(
+            self.module, rule, getattr(node, "lineno", 1), message,
+            col=getattr(node, "col_offset", 0) + 1)
+        if finding is not None:
+            self.findings.append(finding)
+
+    # -- rules --------------------------------------------------------------
+
+    def check(self) -> None:
+        self._check_scope_stores(self.module.tree.body, "RNG002",
+                                 "module global")
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_scope_stores(
+                    node.body, "RNG003", f"class attribute of {node.name}")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node)
+            elif self._is_random_ctor(node):
+                self._check_seed_provenance(node)
+
+    def _check_seed_provenance(self, node: ast.Call) -> None:
+        if not node.args:
+            return  # unseeded: DET004's domain
+        seed = node.args[0]
+        if self._constant_only(seed):
+            self._emit("RNG001", node,
+                       "random.Random seeded from a constant; derive the "
+                       "seed via derive_seed(...)/RandomStreams or accept "
+                       "it from the caller")
+
+    def _check_scope_stores(self, body: Sequence[ast.stmt], rule: str,
+                            where: str) -> None:
+        """RNG002/RNG003: rng values bound in a shared scope."""
+        for stmt in body:
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            if value is None or not targets:
+                continue
+            if (self._is_rng_expr(value) or self._is_streams_ctor(value)):
+                kind = ("RandomStreams factory"
+                        if self._is_streams_ctor(value) else "random.Random")
+                names = ", ".join(sorted(
+                    target.id for target in targets
+                    if isinstance(target, ast.Name))) or "<target>"
+                self._emit(rule, stmt,
+                           f"{kind} '{names}' stored on a {where}; one "
+                           f"stream would be shared across trials — thread "
+                           f"it through constructors instead")
+
+    def _check_function(self, node: FunctionNode) -> None:
+        """Function-scope rules: global stores, RNG004, RNG005."""
+        # ``global x; x = Random(...)`` is a module-global store too.
+        declared_global: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+        rng_names: Dict[str, ast.stmt] = {}
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and (
+                    self._is_rng_expr(stmt.value)
+                    or self._is_streams_ctor(stmt.value)):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id in declared_global:
+                            self._emit("RNG002", stmt,
+                                       f"rng assigned to global "
+                                       f"'{target.id}' inside "
+                                       f"{node.name}(); one stream would "
+                                       f"be shared across trials")
+                        elif self._is_rng_expr(stmt.value):
+                            rng_names[target.id] = stmt
+        params = {arg.arg for arg in (
+            list(node.args.posonlyargs) + list(node.args.args)
+            + list(node.args.kwonlyargs)) if _is_rng_param(arg.arg)
+            or self._annotated_rng(arg)}
+        self._check_fanout(node, set(rng_names) | params)
+        self._check_boundary(node, set(rng_names) | params)
+
+    def _annotated_rng(self, arg: ast.arg) -> bool:
+        if arg.annotation is None:
+            return False
+        dotted = self.resolver.dotted(arg.annotation)
+        return dotted == "random.Random"
+
+    def _consuming_calls(self, node: FunctionNode,
+                         rng_names: Set[str]) -> Dict[str, List[ast.Call]]:
+        """rng name -> call sites that receive it as an argument.
+
+        Draws on the stream itself (``rng.random()``) and re-derivations
+        (``rng.getrandbits``…) are not consumption; handing the object to
+        another component is.
+        """
+        consumers: Dict[str, List[ast.Call]] = {name: []
+                                                for name in rng_names}
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            receiver = (sub.func.value.id
+                        if isinstance(sub.func, ast.Attribute)
+                        and isinstance(sub.func.value, ast.Name) else None)
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if (isinstance(arg, ast.Name) and arg.id in rng_names
+                        and arg.id != receiver):
+                    consumers[arg.id].append(sub)
+        return consumers
+
+    def _check_fanout(self, node: FunctionNode, rng_names: Set[str]) -> None:
+        """RNG004: the same stream handed to two independent consumers."""
+        for name, calls in sorted(
+                self._consuming_calls(node, rng_names).items()):
+            if len(calls) >= 2:
+                self._emit("RNG004", calls[1],
+                           f"rng stream '{name}' is consumed by "
+                           f"{len(calls)} call sites in {node.name}(); "
+                           f"shared streams couple their draws — give "
+                           f"each consumer its own derived stream")
+
+    def _check_boundary(self, node: FunctionNode,
+                        rng_names: Set[str]) -> None:
+        """RNG005: rng values inside pickled executor payloads."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee: Optional[str] = None
+            if isinstance(sub.func, ast.Name):
+                callee = sub.func.id
+            elif isinstance(sub.func, ast.Attribute):
+                callee = sub.func.attr
+            if callee not in _BOUNDARY_CALLEES:
+                continue
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                for leaf in ast.walk(arg):
+                    if ((isinstance(leaf, ast.Name)
+                         and leaf.id in rng_names)
+                            or self._is_rng_expr(leaf)):
+                        self._emit(
+                            "RNG005", sub,
+                            f"rng captured into {callee}(...) in "
+                            f"{node.name}(); rng state crossing the "
+                            f"process boundary diverges between serial "
+                            f"and sharded runs — ship the seed, not the "
+                            f"stream")
+                        break
+                else:
+                    continue
+                break
+
+
+def analyze(tree: SourceTree) -> List[Finding]:
+    """Run every RNG rule over every module in ``tree``."""
+    findings: List[Finding] = []
+    for module in tree:
+        checker = _ModuleRng(module, tree)
+        checker.check()
+        findings.extend(checker.findings)
+    # Nested functions are visited under their parent and themselves;
+    # identical findings collapse to one.
+    return list(dict.fromkeys(findings))

@@ -23,27 +23,32 @@ BASELINE_VERSION = 1
 class Finding:
     """One rule violation: where, which rule, and what is wrong."""
 
-    __slots__ = ("rule", "path", "line", "message")
+    __slots__ = ("rule", "path", "line", "col", "message")
 
-    def __init__(self, rule: str, path: str, line: int, message: str) -> None:
+    def __init__(self, rule: str, path: str, line: int, message: str,
+                 col: int = 1) -> None:
         self.rule = rule
         self.path = path.replace("\\", "/")
         self.line = line
+        #: 1-based column (SARIF region); purely presentational — it
+        #: never enters the fingerprint, so a formatter shifting code
+        #: sideways cannot churn baselines.
+        self.col = col
         self.message = message
 
     @property
     def fingerprint(self) -> str:
-        """Line-independent identity used by baselines."""
+        """Line- and column-independent identity used by baselines."""
         return f"{self.rule}:{self.path}:{self.message}"
 
-    def sort_key(self) -> Tuple[str, int, str, str]:
-        """Stable ordering: by path, then line, then rule."""
-        return (self.path, self.line, self.rule, self.message)
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Stable ordering: by path, then line/col, then rule."""
+        return (self.path, self.line, self.col, self.rule, self.message)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (the CI report entry)."""
         return {"rule": self.rule, "path": self.path,
-                "line": self.line, "message": self.message}
+                "line": self.line, "col": self.col, "message": self.message}
 
     def render(self) -> str:
         """One-line ``path:line: RULE message`` form."""

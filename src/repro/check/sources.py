@@ -18,7 +18,8 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from repro.check.findings import Finding
 
 #: Inline suppression: ``# repro: allow[DET004]`` or ``allow[DET004,ARCH001]``
-#: on the flagged line.
+#: on the flagged line, or on a comment-only line directly above it (for
+#: justifications too long to share the line with code).
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
 
 #: Rule id for files the analyzers cannot parse at all.
@@ -43,8 +44,12 @@ class SourceModule:
         for number, line in enumerate(self.lines, 1):
             match = _ALLOW_RE.search(line)
             if match:
-                rules = {token.strip() for token in match.group(1).split(",")}
-                self._allowed[number] = {rule for rule in rules if rule}
+                rules = {token.strip() for token in match.group(1).split(",")
+                         if token.strip()}
+                # A comment-only allow covers the next line of code.
+                target = (number + 1 if line.strip().startswith("#")
+                          else number)
+                self._allowed.setdefault(target, set()).update(rules)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         """Whether ``rule`` is inline-allowed on ``line``."""
@@ -63,13 +68,16 @@ class SourceTree:
         self.zone_files: List[Tuple[str, str]] = []
         #: Files that failed to parse (reported once, as GEN001).
         self.errors: List[Finding] = []
+        #: When true, inline ``# repro: allow[...]`` comments are ignored
+        #: and suppressed findings are reported too (inventory runs).
+        self.include_suppressed = False
 
     def finding(self, module: SourceModule, rule: str, line: int,
-                message: str) -> Optional[Finding]:
+                message: str, col: int = 1) -> Optional[Finding]:
         """A :class:`Finding` unless inline-suppressed at its location."""
-        if module.is_suppressed(line, rule):
+        if not self.include_suppressed and module.is_suppressed(line, rule):
             return None
-        return Finding(rule, module.rel, line, message)
+        return Finding(rule, module.rel, line, message, col=col)
 
     def __iter__(self) -> Iterator[SourceModule]:
         return iter(self.modules)

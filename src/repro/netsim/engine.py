@@ -84,12 +84,12 @@ class SimFuture:
         self._error = error
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
-            self._sim.call_soon(lambda cb=callback: cb(self))
+            self._sim.call_soon(callback, self)
 
     def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
         """Call ``callback(self)`` once resolved (immediately if done)."""
         if self._done:
-            self._sim.call_soon(lambda: callback(self))
+            self._sim.call_soon(callback, self)
         else:
             self._callbacks.append(callback)
 
@@ -100,7 +100,8 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._sequence = 0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[..., None],
+                                Tuple[Any, ...]]] = []
         self.events_processed = 0
         #: High-water mark of the pending-event heap, for the profiler's
         #: event-loop report (how much future the simulation holds open).
@@ -115,25 +116,32 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute simulated time ``when``."""
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``.
+
+        Passing ``args`` through the scheduler instead of closing over
+        them keeps the per-event cost to one heap tuple — no closure
+        allocation on the dispatch path (HOT002).
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} (now is {self._now})")
         self._sequence += 1
-        heapq.heappush(self._queue, (when, self._sequence, callback))
+        heapq.heappush(self._queue, (when, self._sequence, callback, args))
         if len(self._queue) > self.max_queue_depth:
             self.max_queue_depth = len(self._queue)
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` after ``delay`` milliseconds."""
+    def call_after(self, delay: float, callback: Callable[..., None],
+                   *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` milliseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.call_at(self._now + delay, callback)
+        self.call_at(self._now + delay, callback, *args)
 
-    def call_soon(self, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at the current simulated time."""
-        self.call_at(self._now, callback)
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at the current simulated time."""
+        self.call_at(self._now, callback, *args)
 
     # -- futures -----------------------------------------------------------------
 
@@ -144,7 +152,7 @@ class Simulator:
     def timer(self, delay: float, value: Any = None) -> SimFuture:
         """A future that resolves to ``value`` after ``delay`` ms."""
         fut = self.future()
-        self.call_after(delay, lambda: fut.resolve(value))
+        self.call_after(delay, fut.resolve, value)
         return fut
 
     # -- processes ------------------------------------------------------------------
@@ -209,13 +217,13 @@ class Simulator:
         while not stop():
             if not self._queue:
                 return False
-            when, _, callback = self._queue[0]
+            when, _, callback, args = self._queue[0]
             if until is not None and when > until:
                 self._now = until
                 return True
             heapq.heappop(self._queue)
             self._now = when
-            callback()
+            callback(*args)
             processed += 1
             self.events_processed += 1
             if processed >= max_events:

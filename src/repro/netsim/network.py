@@ -295,7 +295,7 @@ class Network:
                 return
             current = processed
         self.sim.call_after(elapsed + final_host.brownout_ms,
-                            lambda: self._deliver(final_host, current))
+                            self._deliver, final_host, current)
 
     def _deliver(self, host: Host, datagram: Datagram) -> None:
         tel = self.telemetry
@@ -327,7 +327,7 @@ class Network:
         if not self._taps:
             return
         self.sim.call_after(
-            elapsed, lambda: self._emit(event, host_name, datagram))
+            elapsed, self._emit, event, host_name, datagram)
 
     def _emit(self, event: str, host_name: str, datagram: Datagram) -> None:
         for tap in self._taps:

@@ -97,7 +97,11 @@ class StreamChannel:
         ``timeout`` bounds the whole handshake (ms); None keeps only the
         per-retransmission bound.
         """
-        token = f"{self.host.name}:{id(self)}".encode()
+        # A per-host connection sequence keeps tokens unique without
+        # id(self), whose value is an address-space artefact: the same
+        # trial would put different bytes on the wire in different
+        # processes, breaking byte-identical replay digests.
+        token = f"{self.host.name}:{self.host.allocate_stream_token()}".encode()
         reply = yield from self._reliable_exchange(_segment(b"SYN", token),
                                                    expect=b"SYNACK",
                                                    timeout=timeout)

@@ -64,6 +64,7 @@ class DeploymentModel(NamedTuple):
 
     def dns_ms(self, rng: random.Random) -> float:
         """One lookup's latency (wireless + resolver legs)."""
+        # repro: allow[RNG004] both legs draw from the per-UE stream in fixed order (WORKLOAD.md idiom)
         return self.wireless.sample(rng) + self.resolver.sample(rng)
 
 

@@ -1,0 +1,250 @@
+"""Tests for the RNG stream-provenance dataflow rules."""
+
+import textwrap
+
+import pytest
+
+from repro.check import dataflow
+from repro.check.sources import load_tree
+
+
+def lint(code, tmp_path):
+    """Rules triggered by ``code``, as a sorted list of rule ids."""
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(code))
+    findings = dataflow.analyze(load_tree([str(path)]))
+    return sorted(finding.rule for finding in findings)
+
+
+class TestRng001ConstantSeed:
+    @pytest.mark.parametrize("code", [
+        """\
+        import random
+
+        def build():
+            rng = random.Random(42)
+            return rng.random()
+        """,
+        """\
+        import random
+
+        def build():
+            rng = random.Random(7 * 13 + 1)
+            return rng.random()
+        """,
+        """\
+        from random import Random
+
+        def build():
+            rng = Random("fixed")
+            return rng.random()
+        """,
+    ])
+    def test_constant_seed_flagged(self, code, tmp_path):
+        assert lint(code, tmp_path) == ["RNG001"]
+
+    @pytest.mark.parametrize("code", [
+        # Seed derived through the blessed helper.
+        """\
+        import random
+        from repro.runtime.spec import derive_seed
+
+        def build(seed):
+            rng = random.Random(derive_seed(seed, "workload"))
+            return rng.random()
+        """,
+        # Caller-supplied state has provenance by definition.
+        """\
+        import random
+
+        def build(spec):
+            rng = random.Random(spec.seed)
+            return rng.random()
+        """,
+        # Parameters are caller-supplied too.
+        """\
+        import random
+
+        def build(seed):
+            rng = random.Random(seed)
+            return rng.random()
+        """,
+    ])
+    def test_derived_seed_clean(self, code, tmp_path):
+        assert lint(code, tmp_path) == []
+
+    def test_unseeded_is_not_rng001(self, tmp_path):
+        # No argument at all is DET004's domain, not a provenance issue.
+        assert lint(
+            """\
+            import random
+
+            def build():
+                rng = random.Random()
+                return rng.random()
+            """, tmp_path) == []
+
+
+class TestRng002ModuleGlobal:
+    def test_module_level_rng_flagged(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            base = 7
+            rng = random.Random(base)
+            """, tmp_path) == ["RNG002"]
+
+    def test_module_level_streams_factory_flagged(self, tmp_path):
+        assert lint(
+            """\
+            from repro.netsim.rand import RandomStreams
+
+            streams = RandomStreams(0)
+            """, tmp_path) == ["RNG002"]
+
+    def test_global_store_inside_function_flagged(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            _rng = None
+
+            def init(seed):
+                global _rng
+                _rng = random.Random(seed)
+            """, tmp_path) == ["RNG002"]
+
+    def test_local_rng_clean(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            def trial(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """, tmp_path) == []
+
+
+class TestRng003ClassAttribute:
+    def test_class_attribute_rng_flagged(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            class Sampler:
+                rng = random.Random(seed_from_config())
+            """, tmp_path) == ["RNG003"]
+
+    def test_instance_attribute_clean(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            class Sampler:
+                def __init__(self, seed):
+                    self.rng = random.Random(seed)
+            """, tmp_path) == []
+
+
+class TestRng004StreamFanout:
+    def test_two_consumers_flagged(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng, wireless, resolver):
+                a = wireless.sample(rng)
+                b = resolver.sample(rng)
+                return a + b
+            """, tmp_path) == ["RNG004"]
+
+    def test_named_stream_local_flagged(self, tmp_path):
+        assert lint(
+            """\
+            def trial(streams, wireless, resolver):
+                rng = streams.stream("latency")
+                a = wireless.sample(rng)
+                b = resolver.sample(rng)
+                return a + b
+            """, tmp_path) == ["RNG004"]
+
+    def test_single_consumer_clean(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng, wireless):
+                jitter = rng.random()
+                burst = rng.random()
+                return wireless.sample(rng) + jitter + burst
+            """, tmp_path) == []
+
+    def test_own_draws_are_not_consumption(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng):
+                return rng.random() + rng.gauss(0.0, 1.0)
+            """, tmp_path) == []
+
+    def test_distinct_streams_clean(self, tmp_path):
+        assert lint(
+            """\
+            def trial(streams, wireless, resolver):
+                a = wireless.sample(streams.stream("wireless"))
+                b = resolver.sample(streams.stream("resolver"))
+                return a + b
+            """, tmp_path) == []
+
+
+class TestRng005ProcessBoundary:
+    def test_rng_into_trialspec_flagged(self, tmp_path):
+        assert lint(
+            """\
+            def plan(rng):
+                return TrialSpec(name="t", rng=rng)
+            """, tmp_path) == ["RNG005"]
+
+    def test_fresh_rng_into_task_flagged(self, tmp_path):
+        assert lint(
+            """\
+            import random
+
+            def plan(seed):
+                return _TrialTask(random.Random(seed))
+            """, tmp_path) == ["RNG005"]
+
+    def test_seed_into_trialspec_clean(self, tmp_path):
+        assert lint(
+            """\
+            from repro.runtime.spec import derive_seed
+
+            def plan(seed):
+                return TrialSpec(name="t", seed=derive_seed(seed, "t"))
+            """, tmp_path) == []
+
+
+class TestSuppression:
+    def test_inline_allow_suppresses(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng, wireless, resolver):
+                a = wireless.sample(rng)
+                b = resolver.sample(rng)  # repro: allow[RNG004] both legs draw in fixed order
+                return a + b
+            """, tmp_path) == []
+
+    def test_comment_line_above_suppresses(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng, wireless, resolver):
+                a = wireless.sample(rng)
+                # repro: allow[RNG004] both legs draw in fixed order
+                b = resolver.sample(rng)
+                return a + b
+            """, tmp_path) == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        assert lint(
+            """\
+            def sample(rng, wireless, resolver):
+                a = wireless.sample(rng)
+                b = resolver.sample(rng)  # repro: allow[RNG001] wrong rule
+                return a + b
+            """, tmp_path) == ["RNG004"]

@@ -6,7 +6,7 @@ import pathlib
 import pytest
 
 from repro.check import runner
-from repro.check.findings import Baseline
+from repro.check.findings import Baseline, Finding
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
 
@@ -120,3 +120,114 @@ class TestBaselineRoundTrip:
         shifted = runner.run_check([str(tmp_path)], baseline=baseline)
         assert shifted.ok
         assert len(shifted.baselined) == 1
+
+    def test_baseline_is_column_insensitive(self, tmp_path):
+        path = write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)])
+        baseline = Baseline.from_findings(report.findings)
+        # The same violation shifted sideways (a formatter's doing) is
+        # still grandfathered: the fingerprint carries no column.
+        path.write_text("import time\nnow      =      time.time()\n")
+        shifted = runner.run_check([str(tmp_path)], baseline=baseline)
+        assert shifted.ok
+        assert len(shifted.baselined) == 1
+
+    def test_fingerprint_ignores_column(self):
+        left = Finding("DET001", "a.py", 3, "wall clock", col=5)
+        right = Finding("DET001", "a.py", 3, "wall clock", col=40)
+        assert left.fingerprint == right.fingerprint
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestOnlySelection:
+    def test_only_filters_rules(self, tmp_path):
+        write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)], only=["DET002"])
+        assert report.ok  # the DET001 finding is filtered out
+        report = runner.run_check([str(tmp_path)], only=["DET001"])
+        assert report.counts_by_rule() == {"DET001": 1}
+
+    def test_only_narrows_analyzers(self, tmp_path):
+        write_violation(tmp_path)
+        report = runner.run_check([str(tmp_path)], only=["HOT001"])
+        assert report.analyzers == ["hotpath"]
+
+    def test_only_unknown_rule_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            runner.run_check([str(tmp_path)], only=["HOT999"])
+
+    def test_cli_only_comma_separated(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        assert runner.main([str(tmp_path), "--only",
+                            "DET002,ARCH001"]) == 0
+        capsys.readouterr()
+        assert runner.main([str(tmp_path), "--only", "DET001"]) == 1
+
+    def test_cli_only_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert runner.main([str(tmp_path), "--only", "NOPE001"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSarif:
+    def test_sarif_stdout(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        assert runner.main([str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == runner.SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert [rule["id"] for rule in run["tool"]["driver"]["rules"]] \
+            == ["DET001"]
+        result = run["results"][0]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert region["startColumn"] >= 1
+        assert "reproCheck/v1" in result["partialFingerprints"]
+
+    def test_sarif_out_artifact(self, tmp_path, capsys):
+        write_violation(tmp_path)
+        sarif_path = tmp_path / "check.sarif"
+        assert runner.main([str(tmp_path), "--sarif-out",
+                            str(sarif_path)]) == 1
+        capsys.readouterr()
+        doc = json.loads(sarif_path.read_text())
+        assert doc["version"] == runner.SARIF_VERSION
+        assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_sarif_clean_tree_has_no_results(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        assert runner.main([str(tmp_path), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestWholeProgramPasses:
+    def test_new_analyzers_registered(self):
+        assert {"rng", "races", "hotpath"} <= set(runner.ANALYZERS)
+        for rule in ("RNG001", "RNG005", "RACE001", "RACE004",
+                     "HOT001", "HOT003"):
+            assert rule in runner.ALL_RULES
+
+    def test_clean_tree_under_new_passes(self):
+        # The merge gate: the whole-program passes report nothing
+        # unsuppressed on src/repro itself.
+        report = runner.run_check(
+            [str(ROOT / "src" / "repro")],
+            analyzers=["rng", "races", "hotpath"])
+        assert report.ok, report.render_text()
+
+    def test_include_suppressed_sees_inventory(self):
+        # The HOT/RNG/RACE allows in-tree become visible to inventory
+        # runs; the suppressed findings exist and are rule-tagged.
+        report = runner.run_check(
+            [str(ROOT / "src" / "repro")],
+            analyzers=["rng", "races", "hotpath"],
+            include_suppressed=True)
+        assert not report.ok
+        assert set(report.counts_by_rule()) <= {
+            "RNG001", "RNG002", "RNG003", "RNG004", "RNG005",
+            "RACE001", "RACE002", "RACE003", "RACE004",
+            "HOT001", "HOT002", "HOT003"}
