@@ -1,22 +1,43 @@
 #!/usr/bin/env python
-"""Compare a fresh ``BENCH_profile.json`` against the committed baseline.
+"""Compare fresh bench documents against committed baselines.
 
-The perf-trajectory gate: ``repro profile <experiment>`` writes a
-``repro-bench-profile-v1`` document, and this script diffs it against
-the checked-in baseline::
+The perf-trajectory gate.  Two document kinds are understood, selected
+by their ``format`` tag:
+
+``repro-bench-profile-v1`` (written by ``repro profile <experiment>``)::
 
     PYTHONPATH=src python -m repro.cli profile figure5 --out-dir out
     python scripts/bench_compare.py out/BENCH_profile.json \
         --baseline BENCH_profile.json [--tolerance 1.3] [--strict]
 
+  Gates wall time (above ``tolerance ×`` baseline) and event throughput
+  (below ``baseline / tolerance``).  With ``--min-speedup N`` the
+  current document must additionally show ``events_per_s >= N ×``
+  baseline — point it at a frozen pre-optimisation baseline (see
+  ``perf/``) to assert a speedup has not been lost.
+
+``repro-bench-runtime-v1`` (written by ``scripts/bench_runtime.py``)::
+
+    python scripts/bench_runtime.py --out out/BENCH_runtime.json
+    python scripts/bench_compare.py out/BENCH_runtime.json \
+        --baseline BENCH_runtime.json [--strict]
+
+  Gates each (tier, experiment) row's serial and sharded wall time
+  against the matching baseline row, and gates the **scaled** tier's
+  sharded speedup.  The speedup floor is CPU-aware, because the number
+  means different things on different boxes: with 2+ cores the
+  persistent pool must actually win (``speedup > 1.0``); on a
+  single-core runner there is no parallelism to win back and the gate
+  only checks that chunked dispatch keeps the overhead amortised
+  (``speedup >= 0.85``).
+
 Wall-clock numbers are noisy across machines and CI runners, so the
 default mode only **warns** on regression (exit 0); ``--strict`` turns
-a regression into exit 1 for environments stable enough to gate on.  A
-regression is wall time above ``tolerance ×`` baseline or event
-throughput below ``baseline / tolerance``.  Deterministic counters
-(events, spans, traces) are reported when they drift — a change there
-is a behaviour change, not noise — but never gated on, because growing
-the simulation is usually the point of a PR.
+a regression into exit 1 for environments stable enough to gate on.
+Deterministic counters (events, spans, traces, digests) are reported
+when they drift — a change there is a behaviour change, not noise —
+but never gated on, because growing the simulation is usually the
+point of a PR.
 """
 from __future__ import annotations
 
@@ -24,37 +45,28 @@ import argparse
 import json
 import sys
 
-GATED_FORMAT = "repro-bench-profile-v1"
+PROFILE_FORMAT = "repro-bench-profile-v1"
+RUNTIME_FORMAT = "repro-bench-runtime-v1"
+
+#: Sharded-speedup floor by core availability (scaled tier only).
+MULTI_CORE_SPEEDUP_FLOOR = 1.0
+SINGLE_CORE_SPEEDUP_FLOOR = 0.85
 
 
-def _load(path: str) -> dict:
+def _load(path: str, formats) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"error: cannot load {path}: {exc}")
-    if not isinstance(document, dict) or document.get("format") != GATED_FORMAT:
-        raise SystemExit(f"error: {path} is not a {GATED_FORMAT} document")
+    if not isinstance(document, dict) or document.get("format") not in formats:
+        raise SystemExit(
+            f"error: {path} is not one of {', '.join(sorted(formats))}")
     return document
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="freshly produced BENCH_profile.json")
-    parser.add_argument("--baseline", default="BENCH_profile.json",
-                        help="committed baseline (default: "
-                             "BENCH_profile.json)")
-    parser.add_argument("--tolerance", type=float, default=1.3,
-                        help="allowed slowdown factor before a regression "
-                             "is declared (default: 1.3)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit 1 on regression instead of warning")
-    args = parser.parse_args()
-    if args.tolerance < 1.0:
-        parser.error("--tolerance must be >= 1.0")
-
-    current = _load(args.current)
-    baseline = _load(args.baseline)
+def _compare_profile(current: dict, baseline: dict, tolerance: float,
+                     min_speedup: float) -> list:
     if current.get("experiment") != baseline.get("experiment"):
         raise SystemExit(
             f"error: experiment mismatch: current profiles "
@@ -67,19 +79,27 @@ def main() -> int:
     print(f"wall_s:       {wall_now:.3f} now vs {wall_base:.3f} baseline "
           f"(x{wall_now / wall_base:.2f})" if wall_base else
           f"wall_s:       {wall_now:.3f} now (no baseline value)")
-    if wall_base and wall_now > wall_base * args.tolerance:
+    if wall_base and wall_now > wall_base * tolerance:
         regressions.append(
-            f"wall_s {wall_now:.3f} exceeds {args.tolerance:.2f}x baseline "
+            f"wall_s {wall_now:.3f} exceeds {tolerance:.2f}x baseline "
             f"{wall_base:.3f}")
 
     eps_now = float(current.get("events_per_s", 0.0))
     eps_base = float(baseline.get("events_per_s", 0.0))
     print(f"events_per_s: {eps_now:.0f} now vs {eps_base:.0f} baseline"
           if eps_base else f"events_per_s: {eps_now:.0f} now")
-    if eps_base and eps_now < eps_base / args.tolerance:
+    if eps_base and eps_now < eps_base / tolerance:
         regressions.append(
             f"events_per_s {eps_now:.0f} below baseline {eps_base:.0f} / "
-            f"{args.tolerance:.2f}")
+            f"{tolerance:.2f}")
+    if min_speedup and eps_base:
+        ratio = eps_now / eps_base
+        print(f"speedup:      x{ratio:.2f} vs baseline "
+              f"(required >= x{min_speedup:.2f})")
+        if ratio < min_speedup:
+            regressions.append(
+                f"events_per_s speedup x{ratio:.2f} below required "
+                f"x{min_speedup:.2f} over baseline {eps_base:.0f}")
 
     for counter in ("events", "spans", "traces", "simulators",
                     "max_heap_depth"):
@@ -87,6 +107,87 @@ def main() -> int:
         if now != base:
             print(f"note: {counter} changed: {base} -> {now} "
                   f"(behaviour change, not gated)")
+    return regressions
+
+
+def _runtime_rows(document: dict) -> dict:
+    rows = {}
+    for row in document.get("results", ()):
+        # Pre-tier baselines carry no "tier"; treat them as tiny.
+        rows[(row.get("tier", "tiny"), row.get("experiment"))] = row
+    return rows
+
+
+def _compare_runtime(current: dict, baseline: dict, tolerance: float) -> list:
+    regressions = []
+    jobs = current.get("jobs", 2)
+    sharded_key = f"jobs{jobs}_s"
+    cpu_count = int(current.get("cpu_count") or 1)
+    floor = (MULTI_CORE_SPEEDUP_FLOOR if cpu_count >= 2
+             else SINGLE_CORE_SPEEDUP_FLOOR)
+    base_rows = _runtime_rows(baseline)
+
+    for (tier, name), row in sorted(_runtime_rows(current).items()):
+        label = f"[{tier}] {name}"
+        base = base_rows.get((tier, name))
+        for column in ("serial_s", sharded_key):
+            now = row.get(column)
+            was = base.get(column) if base else None
+            if now is None:
+                continue
+            if was:
+                print(f"{label} {column}: {now:.3f} now vs {was:.3f} "
+                      f"baseline (x{now / was:.2f})")
+                if now > was * tolerance:
+                    regressions.append(
+                        f"{label} {column} {now:.3f} exceeds "
+                        f"{tolerance:.2f}x baseline {was:.3f}")
+            else:
+                print(f"{label} {column}: {now:.3f} now (no baseline row)")
+        if base and row.get("digest") != base.get("digest"):
+            print(f"note: {label} digest changed: {base.get('digest')} -> "
+                  f"{row.get('digest')} (behaviour change, not gated)")
+        speedup = row.get("speedup")
+        if tier == "scaled" and speedup is not None:
+            print(f"{label} sharded speedup: x{speedup:.2f} "
+                  f"(floor x{floor:.2f} on {cpu_count} cpu(s))")
+            if speedup < floor:
+                regressions.append(
+                    f"{label} sharded speedup x{speedup:.2f} below the "
+                    f"x{floor:.2f} floor for {cpu_count} cpu(s)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced bench document")
+    parser.add_argument("--baseline", default="BENCH_profile.json",
+                        help="committed baseline of the same format "
+                             "(default: BENCH_profile.json)")
+    parser.add_argument("--tolerance", type=float, default=1.3,
+                        help="allowed slowdown factor before a regression "
+                             "is declared (default: 1.3)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="profile documents only: require "
+                             "events_per_s >= N x baseline (default: off)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warning")
+    args = parser.parse_args()
+    if args.tolerance < 1.0:
+        parser.error("--tolerance must be >= 1.0")
+    if args.min_speedup < 0.0:
+        parser.error("--min-speedup must be >= 0")
+
+    current = _load(args.current, {PROFILE_FORMAT, RUNTIME_FORMAT})
+    baseline = _load(args.baseline, {current["format"]})
+
+    if current["format"] == PROFILE_FORMAT:
+        regressions = _compare_profile(current, baseline, args.tolerance,
+                                       args.min_speedup)
+    else:
+        if args.min_speedup:
+            parser.error("--min-speedup applies to profile documents only")
+        regressions = _compare_runtime(current, baseline, args.tolerance)
 
     if not regressions:
         print("bench_compare: OK — within tolerance")

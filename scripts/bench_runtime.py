@@ -4,10 +4,26 @@
 Runs representative artifacts through :class:`repro.runtime.TrialExecutor`
 with ``jobs=1`` and ``jobs=2``, verifies the digests match (the whole
 point of the runtime is that sharding never changes the output), and
-records honest wall-clock numbers into ``BENCH_runtime.json``.  Each
-configuration is measured ``--samples`` times (default 3); the headline
-number is the **minimum** (the least-noise estimate of the true cost)
-and every sample is recorded so readers can judge the spread:
+records honest wall-clock numbers into ``BENCH_runtime.json``.
+
+Two tiers run by default:
+
+* ``tiny`` — the historical small cases.  Dominated by fixed costs
+  (testbed construction, the pickle round-trip), so the sharded column
+  mostly measures dispatch overhead;
+* ``scaled`` — the same artifacts with enough queries per trial that
+  compute dominates dispatch.  This is the tier the sharded-speedup
+  gate in ``scripts/bench_compare.py`` reads, because it is the one
+  where parallelism can actually win.
+
+The worker pool is **warmed before any sharded sample** (see
+:func:`repro.runtime.warm_worker_pool`): the executor keeps one
+persistent pool per process, and fork-up cost belongs to process
+start-up, not to the first measured sample (it used to show up as a
+3-4x outlier on the first ``jobs=2`` run).  Each configuration is
+measured ``--samples`` times (default 3); the headline number is the
+**minimum** (the least-noise estimate of the true cost) and every
+sample is recorded so readers can judge the spread:
 
     PYTHONPATH=src python scripts/bench_runtime.py [--out BENCH_runtime.json]
 
@@ -30,13 +46,23 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments.registry import builtin_registry  # noqa: E402
-from repro.runtime import TrialExecutor, result_digest  # noqa: E402
+from repro.runtime import (TrialExecutor, result_digest,  # noqa: E402
+                           warm_worker_pool)
 
-#: (artifact, overrides) pairs: one latency-bound sweep with many small
-#: trials, one heavyweight sweep with few large trials.
-CASES = (
-    ("figure5", {"queries": 20}),
-    ("resilience", {"queries": 6}),
+#: Schema tag for ``BENCH_runtime.json`` (read by bench_compare.py).
+BENCH_FORMAT = "repro-bench-runtime-v1"
+
+#: tier -> (artifact, overrides) pairs.  Each tier pairs one
+#: latency-bound sweep with many small trials against one heavier sweep.
+TIERS = (
+    ("tiny", (
+        ("figure5", {"queries": 20}),
+        ("resilience", {"queries": 6}),
+    )),
+    ("scaled", (
+        ("figure5", {"queries": 400}),
+        ("resilience", {"queries": 80}),
+    )),
 )
 JOBS = 2
 
@@ -79,41 +105,60 @@ def main() -> int:
         parser.error("--samples must be >= 1")
 
     registry = builtin_registry()
+    warm_worker_pool(JOBS)
     results = []
-    for name, overrides in CASES:
-        experiment = registry.get(name)
-        trials = len(experiment.trials(experiment.resolve_params(overrides)))
-        print(f"{name}: {trials} trials, overrides={overrides}, "
-              f"min of {args.samples}")
-        serial_s, serial_samples, serial_digest = _sampled_run(
-            experiment, overrides, 1, args.samples)
-        print(f"  jobs=1: {serial_s:.2f} s (samples: {serial_samples})")
-        sharded_s, sharded_samples, sharded_digest = _sampled_run(
-            experiment, overrides, JOBS, args.samples)
-        print(f"  jobs={JOBS}: {sharded_s:.2f} s (samples: {sharded_samples})")
-        if sharded_digest != serial_digest:
-            raise SystemExit(f"{name}: sharded digest diverged from serial "
-                             f"({sharded_digest} != {serial_digest})")
-        print(f"  digests match ({serial_digest[:12]}...)")
-        results.append({
-            "experiment": name,
-            "overrides": {key: value for key, value in overrides.items()},
-            "trials": trials,
-            "serial_s": round(serial_s, 3),
-            "serial_samples_s": serial_samples,
-            f"jobs{JOBS}_s": round(sharded_s, 3),
-            f"jobs{JOBS}_samples_s": sharded_samples,
-            "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
-            "digest": serial_digest,
-        })
+    for tier, cases in TIERS:
+        for name, overrides in cases:
+            experiment = registry.get(name)
+            trials = len(experiment.trials(
+                experiment.resolve_params(overrides)))
+            workers = min(JOBS, trials)
+            chunk_size = TrialExecutor.default_chunk_size(trials, workers)
+            print(f"[{tier}] {name}: {trials} trials, "
+                  f"overrides={overrides}, min of {args.samples}")
+            serial_s, serial_samples, serial_digest = _sampled_run(
+                experiment, overrides, 1, args.samples)
+            print(f"  jobs=1: {serial_s:.2f} s (samples: {serial_samples})")
+            sharded_s, sharded_samples, sharded_digest = _sampled_run(
+                experiment, overrides, JOBS, args.samples)
+            print(f"  jobs={JOBS}: {sharded_s:.2f} s "
+                  f"(samples: {sharded_samples}, chunk_size={chunk_size})")
+            if sharded_digest != serial_digest:
+                raise SystemExit(
+                    f"{name}: sharded digest diverged from serial "
+                    f"({sharded_digest} != {serial_digest})")
+            print(f"  digests match ({serial_digest[:12]}...)")
+            results.append({
+                "tier": tier,
+                "experiment": name,
+                "overrides": {key: value for key, value in overrides.items()},
+                "trials": trials,
+                "chunk_size": chunk_size,
+                "serial_s": round(serial_s, 3),
+                "serial_samples_s": serial_samples,
+                f"jobs{JOBS}_s": round(sharded_s, 3),
+                f"jobs{JOBS}_samples_s": sharded_samples,
+                "speedup": round(serial_s / sharded_s, 3) if sharded_s
+                           else None,
+                "digest": serial_digest,
+            })
 
     document = {
+        "format": BENCH_FORMAT,
         "benchmark": "repro.runtime serial vs sharded execution",
         "jobs": JOBS,
         "samples": args.samples,
         "cpu_count": os.cpu_count(),
+        "pool": {
+            "persistent": True,
+            "warmed_before_sampling": True,
+            "dispatch": "chunked (K specs per pickle round-trip)",
+        },
         "results": results,
     }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Re-record ``tests/runtime/golden_digests.json``.
+
+The golden file pins every registered experiment's ``result_digest`` so
+performance work can prove it changed *speed only* (see
+``tests/runtime/test_golden_digests.py``).  Run this ONLY when an
+experiment's behaviour deliberately changes — a drift caused by an
+optimisation is a bug, not a reason to re-golden:
+
+    PYTHONPATH=src python scripts/make_goldens.py [--out PATH]
+
+Overrides live in the golden file itself and are carried over verbatim;
+a newly registered experiment gets an empty override set, which the
+author should scale down by hand (match tests/runtime/test_equivalence.py)
+before committing.  Every digest is recorded from a serial run and
+cross-checked against a ``jobs=2`` run before the file is written, so a
+freshly recorded golden can never disagree with the sharded backend.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.registry import builtin_registry  # noqa: E402
+from repro.runtime import TrialExecutor, result_digest  # noqa: E402
+
+GOLDENS_PATH = (pathlib.Path(__file__).resolve().parents[1]
+                / "tests" / "runtime" / "golden_digests.json")
+GOLDENS_FORMAT = "repro-golden-digests-v1"
+COMMENT = ("Pre-refactor artifact digests pinning the hot-path overhaul's "
+           "byte-identity contract. Regenerate only when an experiment's "
+           "behaviour deliberately changes: "
+           "PYTHONPATH=src python scripts/make_goldens.py")
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _tuplify(item) for key, item in value.items()}
+    return value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(GOLDENS_PATH),
+                        help=f"golden file to rewrite "
+                             f"(default: {GOLDENS_PATH})")
+    args = parser.parse_args()
+
+    out_path = pathlib.Path(args.out)
+    # Overrides always come from the committed golden file, so writing
+    # to a scratch --out path still reproduces the committed digests.
+    previous = {}
+    if GOLDENS_PATH.exists():
+        document = json.loads(GOLDENS_PATH.read_text(encoding="utf-8"))
+        if document.get("format") != GOLDENS_FORMAT:
+            raise SystemExit(f"error: {GOLDENS_PATH} is not {GOLDENS_FORMAT}")
+        previous = document["goldens"]
+
+    registry = builtin_registry()
+    goldens = {}
+    for name in sorted(registry.names()):
+        overrides = previous.get(name, {}).get("overrides", {})
+        experiment = registry.get(name)
+        serial = TrialExecutor(jobs=1).run(experiment, _tuplify(overrides))
+        if not serial.ok:
+            for failure in serial.failures:
+                print(f"  FAILED {failure.describe()}", file=sys.stderr)
+            raise SystemExit(f"{name} failed serially; no golden recorded")
+        digest = result_digest(serial.result)
+        sharded = TrialExecutor(jobs=2).run(experiment, _tuplify(overrides))
+        if not sharded.ok or result_digest(sharded.result) != digest:
+            raise SystemExit(
+                f"{name}: jobs=2 run disagrees with the serial digest — "
+                f"fix the runtime before re-recording goldens")
+        was = previous.get(name, {}).get("digest")
+        marker = ("unchanged" if was == digest
+                  else "NEW" if was is None else "CHANGED")
+        print(f"{name}: {digest[:16]}... ({marker})")
+        goldens[name] = {"digest": digest, "overrides": overrides}
+
+    dropped = sorted(set(previous) - set(goldens))
+    for name in dropped:
+        print(f"{name}: dropped (no longer registered)")
+
+    out_path.write_text(json.dumps(
+        {"comment": COMMENT, "format": GOLDENS_FORMAT, "goldens": goldens},
+        indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,9 @@ committed ``HOT_INVENTORY.json`` is generated from this pass (run with
 
 ========  ==============================================================
 HOT001    loop-invariant dnswire encode/decode inside a loop — the same
-          bytes are recomputed every iteration (any module)
+          bytes are recomputed every iteration (any module).  Calls to
+          the memoized encode entry point (``cached_wire``) are cache
+          hits, not re-encodes, and are never flagged
 HOT002    per-event allocation on the scheduling path: a lambda/nested
           function built inside a loop, or a lambda handed to
           ``call_soon``/``call_at``/``call_after``/``add_done_callback``
@@ -55,6 +57,12 @@ DEFAULT_HOT_PREFIXES: Tuple[str, ...] = (
 #: Wire-layer entry points whose output depends only on their inputs.
 _WIRE_METHODS = frozenset({"to_wire", "from_wire"})
 _WIRE_FUNCTIONS = frozenset({"make_query", "make_response"})
+
+#: dnswire entry points that memoize on message content
+#: (:func:`repro.dnswire.message.cached_wire`).  A loop-invariant call
+#: is a dict hit after the first iteration — exactly the idiom HOT001
+#: pushes call sites toward — so it is recognised and *not* flagged.
+_MEMOIZED_WIRE_FUNCTIONS = frozenset({"cached_wire"})
 
 #: Per-event scheduling entry points; a lambda argument is one
 #: allocation per scheduled event.
@@ -183,9 +191,12 @@ class _ModuleHot:
             label = node.func.attr
             reads = [node.func.value] + list(node.args)
         elif isinstance(node.func, ast.Name) \
-                and node.func.id in _WIRE_FUNCTIONS:
+                and node.func.id in (_WIRE_FUNCTIONS
+                                     | _MEMOIZED_WIRE_FUNCTIONS):
             dotted = self.resolver.dotted(node.func)
             if dotted is None or not dotted.startswith("repro.dnswire"):
+                return
+            if node.func.id in _MEMOIZED_WIRE_FUNCTIONS:
                 return
             label = node.func.id
             reads = list(node.args) + [kw.value for kw in node.keywords]
@@ -194,9 +205,12 @@ class _ModuleHot:
         for expr in reads:
             if not self._invariant(expr, stored):
                 return
+        hint = ("hoist it above the loop" if label == "from_wire"
+                else "hoist it above the loop or encode via "
+                     "repro.dnswire.cached_wire (memoized)")
         self._emit("HOT001", node,
                    f"loop-invariant {label}(...) re-encodes the same "
-                   f"bytes every iteration; hoist it above the loop")
+                   f"bytes every iteration; {hint}")
 
     def _invariant(self, expr: ast.expr, stored: Set[str]) -> bool:
         """Whether ``expr`` reads only names unassigned in the loop.

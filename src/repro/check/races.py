@@ -53,6 +53,7 @@ RULES: Dict[str, str] = {
 DEFAULT_ROOTS: Tuple[str, ...] = (
     "*.run_trial",
     "*._run_trial_task",
+    "*._run_chunk",
     "repro.runtime.capture.*",
 )
 

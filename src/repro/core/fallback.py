@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Generator, List, NamedTuple, Optional
 
-from repro.dnswire.message import Message, make_query
+from repro.dnswire.message import Message, cached_wire, make_query
 from repro.dnswire.name import Name
 from repro.dnswire.types import Rcode, RecordType
 from repro.errors import QueryTimeout, WireFormatError
@@ -106,12 +106,14 @@ class FallbackClient:
                            msg_id=self._rng.randrange(1, 0xFFFF))
         try:
             reply = yield sock.request(
-                query.to_wire(), server,
+                cached_wire(query), server,
                 timeout if timeout is not None else self.total_timeout)
         finally:
             sock.close()
         try:
-            response = Message.from_wire(reply.payload)
+            view = reply.claim_view()
+            response = view if isinstance(view, Message) \
+                else Message.from_wire(reply.payload)
         except WireFormatError as error:
             raise _NotUseful(str(error)) from error
         if response.rcode in (Rcode.REFUSED, Rcode.SERVFAIL):

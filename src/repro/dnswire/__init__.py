@@ -25,6 +25,9 @@ from repro.dnswire.message import (
     Question,
     ResourceRecord,
     Message,
+    LazyMessage,
+    cached_wire,
+    clear_wire_memo,
     make_query,
     make_response,
     mark_stale,
@@ -57,6 +60,9 @@ __all__ = [
     "Question",
     "ResourceRecord",
     "Message",
+    "LazyMessage",
+    "cached_wire",
+    "clear_wire_memo",
     "make_query",
     "make_response",
     "mark_stale",

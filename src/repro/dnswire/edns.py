@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 import ipaddress
 import math
-from typing import Dict, List, Optional, Type, Union
+from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.dnswire.types import DEFAULT_EDNS_PAYLOAD
 from repro.dnswire.wire import WireReader, WireWriter
@@ -95,8 +95,13 @@ class ClientSubnet(EdnsOption):
         if not 0 <= scope_prefix <= max_bits:
             raise WireFormatError(
                 f"ECS scope prefix {scope_prefix} out of range for {address}")
-        network = ipaddress.ip_network(f"{address}/{source_prefix}", strict=False)
-        self.address = str(network.network_address)
+        # Mask host bits directly on the integer form.  This equals
+        # ``ip_network(f"{address}/{source_prefix}",
+        # strict=False).network_address`` without parsing the address a
+        # second time (ECS options are built per query on the hot path).
+        host_bits = max_bits - source_prefix
+        masked = (int(parsed) >> host_bits) << host_bits
+        self.address = str(type(parsed)(masked))
         self.source_prefix = source_prefix
         self.scope_prefix = scope_prefix
 
@@ -246,6 +251,20 @@ class Edns:
     def extended_error(self) -> Optional[ExtendedDnsError]:
         opt = self.option(int(EdnsOptionCode.EDE))
         return opt if isinstance(opt, ExtendedDnsError) else None
+
+    def cache_key(self) -> "Tuple[object, ...]":
+        """A hashable snapshot of everything the OPT record encodes.
+
+        The message-level wire memo (:func:`repro.dnswire.message.cached_wire`)
+        keys on this; it covers the fixed OPT fields plus the option list,
+        so two Edns values with equal keys render identical OPT bytes.
+        Options are value-hashable (ClientSubnet, ExtendedDnsError,
+        OpaqueOption all hash on content); a foreign option type without
+        ``__hash__`` makes the key unhashable, which the memo treats as
+        "encode directly".
+        """
+        return (self.udp_payload, self.version, self.dnssec_ok,
+                tuple(self.options))
 
     def options_to_wire(self) -> bytes:
         """Encode the option list as OPT rdata octets."""

@@ -8,7 +8,8 @@ query the experiments run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dnswire.edns import Edns, ExtendedDnsError
 from repro.dnswire.name import Name
@@ -16,6 +17,15 @@ from repro.dnswire.rdata import Rdata, parse_rdata
 from repro.dnswire.types import Opcode, Rcode, RecordClass, RecordType
 from repro.dnswire.wire import WireReader, WireWriter
 from repro.errors import WireFormatError
+
+#: Value→member maps for the registries decoded on every message parse.
+#: ``Enum.__call__`` is two Python calls per coercion; a dict hit is
+#: none.  Unknown values fall back to the enum call so the ValueError
+#: (→ WireFormatError) behaviour is unchanged.
+_RECORD_TYPES: Dict[int, RecordType] = {int(m): m for m in RecordType}
+_RECORD_CLASSES: Dict[int, RecordClass] = {int(m): m for m in RecordClass}
+_OPCODES: Dict[int, Opcode] = {int(m): m for m in Opcode}
+_RCODES: Dict[int, Rcode] = {int(m): m for m in Rcode}
 
 
 class Flags:
@@ -84,8 +94,9 @@ class Question:
     def __init__(self, name: Name, rtype: RecordType,
                  rclass: RecordClass = RecordClass.IN) -> None:
         self.name = name
-        self.rtype = RecordType(rtype)
-        self.rclass = RecordClass(rclass)
+        self.rtype = rtype if type(rtype) is RecordType else RecordType(rtype)
+        self.rclass = (rclass if type(rclass) is RecordClass
+                       else RecordClass(rclass))
 
     def to_wire(self, writer: WireWriter) -> None:
         """Serialise to wire format."""
@@ -98,7 +109,17 @@ class Question:
         name = reader.read_name()
         rtype = reader.read_u16()
         rclass = reader.read_u16()
-        return cls(name, RecordType(rtype), RecordClass(rclass))
+        rtype_enum = _RECORD_TYPES.get(rtype)
+        if rtype_enum is None:
+            rtype_enum = RecordType(rtype)
+        rclass_enum = _RECORD_CLASSES.get(rclass)
+        if rclass_enum is None:
+            rclass_enum = RecordClass(rclass)
+        question = cls.__new__(cls)
+        question.name = name
+        question.rtype = rtype_enum
+        question.rclass = rclass_enum
+        return question
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Question):
@@ -121,8 +142,9 @@ class ResourceRecord:
     def __init__(self, name: Name, rtype: RecordType, ttl: int, rdata: Rdata,
                  rclass: RecordClass = RecordClass.IN) -> None:
         self.name = name
-        self.rtype = RecordType(rtype)
-        self.rclass = RecordClass(rclass)
+        self.rtype = rtype if type(rtype) is RecordType else RecordType(rtype)
+        self.rclass = (rclass if type(rclass) is RecordClass
+                       else RecordClass(rclass))
         self.ttl = ttl
         self.rdata = rdata
 
@@ -149,11 +171,19 @@ class ResourceRecord:
         ttl = reader.read_u32()
         rdlength = reader.read_u16()
         rdata = parse_rdata(rtype, reader, rdlength)
-        try:
-            rtype_enum = RecordType(rtype)
-        except ValueError:
+        rtype_enum = _RECORD_TYPES.get(rtype)
+        if rtype_enum is None:
             rtype_enum = RecordType.ANY  # generic passthrough keeps true type in rdata
-        return cls(name, rtype_enum, ttl, rdata, RecordClass(rclass))
+        rclass_enum = _RECORD_CLASSES.get(rclass)
+        if rclass_enum is None:
+            rclass_enum = RecordClass(rclass)
+        record = cls.__new__(cls)
+        record.name = name
+        record.rtype = rtype_enum
+        record.rclass = rclass_enum
+        record.ttl = ttl
+        record.rdata = rdata
+        return record
 
     def to_text(self) -> str:
         """Render in presentation (zone-file) format."""
@@ -254,8 +284,17 @@ class Message:
         Field values outside the known registries (opcode, class, ...)
         are protocol-level garbage for this implementation and surface as
         WireFormatError, so servers answer FORMERR instead of crashing.
+
+        The returned object is a :class:`LazyMessage` view: header,
+        question, and EDNS state are decoded here (along with a
+        structural validation walk of every record, so malformed wire
+        still fails *now*, not on first section access), while the
+        answer/authority/additional record objects materialise on first
+        access.
         """
         try:
+            if cls is Message:
+                return LazyMessage(data)
             return cls._from_wire(data)
         except ValueError as error:
             raise WireFormatError(f"unsupported field value: {error}") \
@@ -345,6 +384,285 @@ class Message:
                 lines.append(f";; {title} SECTION:")
                 lines.extend(record.to_text() for record in section)
         return "\n".join(lines)
+
+
+def _scan_rr_sections(reader: WireReader, ancount: int, nscount: int,
+                      arcount: int) -> Tuple[Optional[Edns], int]:
+    """Structurally walk the RR sections without building record objects.
+
+    Validates what the eager parser validated — truncation, label types,
+    rdlength bounds, the root-owner rule for OPT — and fully decodes any
+    OPT pseudo-record (EDNS state is header-adjacent: the extended rcode
+    lives in its TTL field, so a lazy view still needs it eagerly).
+    Returns ``(edns, rcode_high)``; later OPTs win, like the eager loop.
+
+    Deliberately deferred to first section access: compression-pointer
+    targets and rdata *content* (those need real decoding).  All wire in
+    the simulation comes from our own writer, so deferral only moves
+    where an error would surface for hand-corrupted test input.
+    """
+    edns: Optional[Edns] = None
+    rcode_high = 0
+    opt_type = int(RecordType.OPT)
+    for count, in_additional in ((ancount, False), (nscount, False),
+                                 (arcount, True)):
+        for _ in range(count):
+            owner_is_root = reader.skip_name()
+            rtype = reader.read_u16()
+            if in_additional and rtype == opt_type:
+                if not owner_is_root:
+                    raise WireFormatError("OPT owner name must be root")
+                payload = reader.read_u16()
+                ttl = reader.read_u32()
+                rdlength = reader.read_u16()
+                options = Edns.options_from_wire(reader.read_bytes(rdlength))
+                edns = Edns(
+                    udp_payload=payload,
+                    version=(ttl >> 16) & 0xFF,
+                    dnssec_ok=bool(ttl & 0x8000),
+                    options=options,
+                )
+                rcode_high = (ttl >> 24) & 0xFF
+            else:
+                reader.read_bytes(6)  # class + ttl
+                rdlength = reader.read_u16()
+                reader.read_bytes(rdlength)
+    return edns, rcode_high
+
+
+class LazyMessage(Message):
+    """A parse-on-demand :class:`Message` view over retained wire bytes.
+
+    ``Message.from_wire`` returns these.  The header, question section,
+    and EDNS state are decoded eagerly (plus a structural validation walk
+    over every record — see :func:`_scan_rr_sections` — so defective wire
+    is still rejected at parse time); the three RR sections materialise
+    on first access.  A server that only looks at the question never pays
+    for record or rdata construction.
+
+    While the view is *pristine* — no mutable field has been touched —
+    :meth:`to_wire` returns the original bytes without re-encoding.
+    Reads count as touches for every mutable field (``flags`` is a
+    mutable object, section lists can be appended to), so the fast path
+    can never serve stale bytes; ``msg_id``/``opcode``/``rcode`` hold
+    immutable values and only their *assignment* invalidates.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        # Message.__init__ is deliberately not called: every attribute it
+        # would set is shadowed by the properties below.
+        reader = WireReader(data)
+        self._wire = data
+        self._pristine = True
+        self._msg_id = reader.read_u16()
+        bits = reader.read_u16()
+        self._flags = Flags.from_bits(bits)
+        opcode = _OPCODES.get((bits >> 11) & 0xF)
+        self._opcode = (opcode if opcode is not None
+                        else Opcode((bits >> 11) & 0xF))
+        qdcount = reader.read_u16()
+        self._ancount = reader.read_u16()
+        self._nscount = reader.read_u16()
+        self._arcount = reader.read_u16()
+        self._questions = [Question.from_wire(reader)
+                           for _ in range(qdcount)]
+        self._sections_at = reader.offset
+        edns, rcode_high = _scan_rr_sections(
+            reader, self._ancount, self._nscount, self._arcount)
+        self._edns = edns
+        rcode_value = (rcode_high << 4) | (bits & 0xF)
+        rcode = _RCODES.get(rcode_value)
+        self._rcode = rcode if rcode is not None else Rcode(rcode_value)
+        self._answers: Optional[List[ResourceRecord]] = None
+        self._authorities: Optional[List[ResourceRecord]] = None
+        self._additionals: Optional[List[ResourceRecord]] = None
+
+    def _explode(self) -> None:
+        """Materialise the three RR sections from the retained wire."""
+        if self._answers is not None:
+            return
+        reader = WireReader(self._wire, self._sections_at)
+        try:
+            answers = [ResourceRecord.from_wire(reader)
+                       for _ in range(self._ancount)]
+            authorities = [ResourceRecord.from_wire(reader)
+                           for _ in range(self._nscount)]
+            additionals: List[ResourceRecord] = []
+            opt_type = int(RecordType.OPT)
+            for _ in range(self._arcount):
+                mark = reader.offset
+                reader.skip_name()
+                if reader.read_u16() == opt_type:
+                    # Already decoded into self._edns by the eager scan.
+                    reader.read_bytes(6)
+                    reader.read_bytes(reader.read_u16())
+                else:
+                    reader.seek(mark)
+                    additionals.append(ResourceRecord.from_wire(reader))
+        except ValueError as error:
+            raise WireFormatError(f"unsupported field value: {error}") \
+                from error
+        self._answers = answers
+        self._authorities = authorities
+        self._additionals = additionals
+
+    def to_wire(self) -> bytes:
+        """The retained wire while pristine; re-encode after any touch."""
+        if self._pristine:
+            return self._wire
+        return super().to_wire()
+
+    # -- field properties (shadow Message's plain attributes) -------------------
+
+    @property
+    def msg_id(self) -> int:
+        return self._msg_id
+
+    @msg_id.setter
+    def msg_id(self, value: int) -> None:
+        self._pristine = False
+        self._msg_id = value
+
+    @property
+    def opcode(self) -> Opcode:
+        return self._opcode
+
+    @opcode.setter
+    def opcode(self, value: Opcode) -> None:
+        self._pristine = False
+        self._opcode = value
+
+    @property
+    def rcode(self) -> Rcode:
+        return self._rcode
+
+    @rcode.setter
+    def rcode(self, value: Rcode) -> None:
+        self._pristine = False
+        self._rcode = value
+
+    @property
+    def flags(self) -> Flags:
+        self._pristine = False  # Flags is mutable; a read may precede a write
+        return self._flags
+
+    @flags.setter
+    def flags(self, value: Flags) -> None:
+        self._pristine = False
+        self._flags = value
+
+    @property
+    def edns(self) -> Optional[Edns]:
+        self._pristine = False
+        return self._edns
+
+    @edns.setter
+    def edns(self, value: Optional[Edns]) -> None:
+        self._pristine = False
+        self._edns = value
+
+    @property
+    def questions(self) -> List[Question]:
+        self._pristine = False
+        return self._questions
+
+    @questions.setter
+    def questions(self, value: List[Question]) -> None:
+        self._pristine = False
+        self._questions = value
+
+    @property
+    def answers(self) -> List[ResourceRecord]:
+        self._explode()
+        self._pristine = False
+        assert self._answers is not None
+        return self._answers
+
+    @answers.setter
+    def answers(self, value: List[ResourceRecord]) -> None:
+        self._explode()
+        self._pristine = False
+        self._answers = value
+
+    @property
+    def authorities(self) -> List[ResourceRecord]:
+        self._explode()
+        self._pristine = False
+        assert self._authorities is not None
+        return self._authorities
+
+    @authorities.setter
+    def authorities(self, value: List[ResourceRecord]) -> None:
+        self._explode()
+        self._pristine = False
+        self._authorities = value
+
+    @property
+    def additionals(self) -> List[ResourceRecord]:
+        self._explode()
+        self._pristine = False
+        assert self._additionals is not None
+        return self._additionals
+
+    @additionals.setter
+    def additionals(self, value: List[ResourceRecord]) -> None:
+        self._explode()
+        self._pristine = False
+        self._additionals = value
+
+
+#: Content-keyed memo behind :func:`cached_wire`.  Values are the encoded
+#: message *minus its first two octets* (the id), so repeated queries that
+#: differ only by id share one entry.  Bounded; cleared wholesale when
+#: full — the memo is pure, so its contents never affect output bytes.
+_WIRE_MEMO: Dict[Tuple[object, ...], bytes] = {}
+_WIRE_MEMO_MAX = 4096
+
+
+def clear_wire_memo() -> None:
+    """Drop every memoised encode (for tests and benchmarks)."""
+    _WIRE_MEMO.clear()
+
+
+def cached_wire(msg: Message) -> bytes:
+    """Encode ``msg`` through the shared memo; byte-identical to ``to_wire``.
+
+    The key covers every field the encoder reads — flag bits, opcode,
+    rcode (both the header nibble and the OPT extended bits), all four
+    sections, and the EDNS snapshot — *except* the message id, which is
+    spliced onto the cached tail (the id occupies exactly octets 0-1 and
+    never participates in compression offsets).  Hot senders re-encoding
+    the same question with fresh ids — stub retries, forwarder cache
+    hits — hit one entry.
+
+    Names, records, and options hash on value, so equal content shares
+    an entry regardless of object identity; anything unhashable (a
+    foreign rdata type) falls back to a direct encode.  Callers must
+    treat records as immutable once sent — the dnswire API only mutates
+    via copies (``with_ttl``/``with_scope``), and
+    ``docs/PERFORMANCE.md`` records the invariant.
+    """
+    if isinstance(msg, LazyMessage) and msg._pristine:
+        return msg._wire  # parsed and untouched: the original bytes stand
+    edns = msg.edns
+    key: Tuple[object, ...] = (
+        msg.flags.to_bits(), int(msg.opcode), int(msg.rcode),
+        tuple(msg.questions), tuple(msg.answers), tuple(msg.authorities),
+        tuple(msg.additionals),
+        edns.cache_key() if edns is not None else None,
+    )
+    try:
+        tail = _WIRE_MEMO.get(key)
+    except TypeError:  # unhashable content — just encode
+        return msg.to_wire()
+    if tail is None:
+        tail = msg.to_wire()[2:]
+        if len(_WIRE_MEMO) >= _WIRE_MEMO_MAX:
+            # repro: allow[RACE001] pure content-keyed memo: a key fully determines its bytes, so hit/miss/eviction never changes any output
+            _WIRE_MEMO.clear()
+        # repro: allow[RACE001] same memo — insertion is value-deterministic and per-process (workers fork with their own copy)
+        _WIRE_MEMO[key] = tail
+    return struct.pack("!H", msg.msg_id) + tail
 
 
 def make_query(name: Name, rtype: RecordType = RecordType.A, msg_id: int = 0,

@@ -31,7 +31,7 @@ class Name:
     format with :meth:`from_text` (also available as ``Name("example.com.")``).
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_text")
 
     def __init__(self, text: str = "") -> None:
         labels = _text_to_labels(text)
@@ -47,6 +47,11 @@ class Name:
             _validate_label(label)
         self._labels = labels
         self._folded = tuple(label.lower() for label in labels)
+        #: Presentation form, rendered lazily on first :meth:`to_text`
+        #: — names are immutable, and the hot paths (span attributes,
+        #: allocation hashing, zone lookups) stringify the same name
+        #: object repeatedly.
+        self._text: Optional[str] = None
 
     @classmethod
     def from_labels(cls, labels: Iterable[bytes]) -> "Name":
@@ -73,9 +78,15 @@ class Name:
 
     def to_text(self) -> str:
         """Render in absolute presentation format (trailing dot)."""
-        if self.is_root:
-            return "."
-        return ".".join(label.decode("ascii") for label in self._labels) + "."
+        text = self._text
+        if text is None:
+            if not self._labels:
+                text = "."
+            else:
+                text = ".".join(
+                    label.decode("ascii") for label in self._labels) + "."
+            self._text = text
+        return text
 
     def __str__(self) -> str:
         return self.to_text()

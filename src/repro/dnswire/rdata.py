@@ -112,7 +112,12 @@ class A(Rdata):
     def from_wire(cls, reader: WireReader, rdlength: int) -> "A":
         if rdlength != 4:
             raise WireFormatError(f"A rdata must be 4 octets, got {rdlength}")
-        return cls(str(ipaddress.IPv4Address(reader.read_bytes(4))))
+        # Packed octets stringify to the canonical dotted quad already,
+        # so the __init__ re-parse (octet splitting and validation all
+        # over again) is skipped on the decode path.
+        record = cls.__new__(cls)
+        record.address = str(ipaddress.IPv4Address(reader.read_bytes(4)))
+        return record
 
     def to_text(self) -> str:
         """Render in presentation (zone-file) format."""
@@ -143,7 +148,11 @@ class AAAA(Rdata):
     def from_wire(cls, reader: WireReader, rdlength: int) -> "AAAA":
         if rdlength != 16:
             raise WireFormatError(f"AAAA rdata must be 16 octets, got {rdlength}")
-        return cls(str(ipaddress.IPv6Address(reader.read_bytes(16))))
+        # Same shortcut as A.from_wire: packed bytes already stringify
+        # to the canonical (compressed) form.
+        record = cls.__new__(cls)
+        record.address = str(ipaddress.IPv6Address(reader.read_bytes(16)))
+        return record
 
     def to_text(self) -> str:
         """Render in presentation (zone-file) format."""

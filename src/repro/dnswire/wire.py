@@ -141,6 +141,31 @@ class WireReader:
 
     # -- names ---------------------------------------------------------------------
 
+    def skip_name(self) -> bool:
+        """Advance past one (possibly compressed) name without decoding it.
+
+        Returns ``True`` when the name is the literal root label (a single
+        zero octet) — the structural scan in :mod:`repro.dnswire.message`
+        needs exactly that bit to validate OPT owners.  A compression
+        pointer terminates the walk without being followed; its target is
+        validated when the name is actually decoded with
+        :meth:`read_name`.  (Our writer never compresses the root name,
+        so "starts with a pointer" can never mean "is root" for wire this
+        library produced.)
+        """
+        at_start = True
+        while True:
+            octet = self.read_u8()
+            if octet & 0xC0 == 0xC0:
+                self.read_u8()  # low pointer octet
+                return False
+            if octet & 0xC0:
+                raise WireFormatError(f"unsupported label type 0x{octet:02x}")
+            if octet == 0:
+                return at_start
+            self.read_bytes(octet)
+            at_start = False
+
     def read_name(self) -> Name:
         """Read a possibly-compressed name starting at the current offset."""
         labels = []

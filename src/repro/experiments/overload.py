@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, List, NamedTuple
 
-from repro.dnswire import make_query
+from repro.dnswire import cached_wire, make_query
 from repro.dnswire.message import ResourceRecord
 from repro.dnswire.name import Name
 from repro.dnswire.rdata import A, NS, SOA
@@ -140,7 +140,8 @@ def _run_policy(policy: str, attack_qps: float, seed: int) -> OverloadRow:
         while elapsed < ATTACK_MS:
             index += 1
             query = make_query(CONTENT, msg_id=(index % 0xFFFF) or 1)
-            attacker_sock.send_to(query.to_wire(), Endpoint("10.96.0.10", 53))
+            attacker_sock.send_to(cached_wire(query),
+                                  Endpoint("10.96.0.10", 53))
             yield gap_ms
             elapsed += gap_ms
 

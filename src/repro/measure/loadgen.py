@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Generator, List, NamedTuple
 
-from repro.dnswire.message import Message, make_query
+from repro.dnswire.message import Message, cached_wire, make_query
 from repro.dnswire.name import Name
 from repro.errors import WireFormatError
 from repro.measure.stats import percentile
@@ -78,14 +78,17 @@ class LoadGenerator:
             query = make_query(self.qname, msg_id=msg_id)
             started = sim.now
             try:
-                reply = yield sock.request(query.to_wire(), self.server,
+                reply = yield sock.request(cached_wire(query),
+                                           self.server,
                                            self.reply_timeout_ms)
             except Exception:  # timeout or drop: counted as loss
                 return
             finally:
                 sock.close()
             try:
-                response = Message.from_wire(reply.payload)
+                view = reply.claim_view()
+                response = view if isinstance(view, Message) \
+                    else Message.from_wire(reply.payload)
             except WireFormatError:
                 return
             if response.msg_id == msg_id:

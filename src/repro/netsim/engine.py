@@ -1,23 +1,39 @@
 """Event loop, futures, and generator processes.
 
-The engine is a classic calendar-queue simulator: a heap of
-``(time, sequence, callback)`` entries.  On top of it sit two conveniences
-that the protocol code leans on heavily:
+The engine is a calendar-queue simulator: pending events live in
+per-timestamp **buckets** (a dict keyed by the exact float instant) and
+a small heap orders only the *distinct* timestamps.  Scheduling into an
+existing instant is an O(1) list append; the heap is touched once per
+distinct instant instead of once per event, and a whole bucket is
+applied back-to-back with the clock set once — the batched
+same-timestamp dispatch the DNS workloads are full of (timer cascades,
+future-callback chains at one instant).
+
+Determinism contract: events at the same instant run in *scheduling
+order*.  The old flat heap enforced this with an explicit sequence
+number riding every tuple; the bucket list enforces the identical order
+structurally, because appends happen in sequence order and the drain
+consumes the list left to right.  The observable event order — and
+therefore every RNG draw, every artifact digest — is byte-identical to
+the heap engine's (pinned by ``tests/runtime/test_golden_digests.py``).
+
+On top sit two conveniences the protocol code leans on heavily:
 
 * :class:`SimFuture` — a one-shot result holder with callbacks, used for
   request/response patterns (a DNS query's answer, an HTTP fetch).
 * generator processes — :meth:`Simulator.spawn` runs a generator that may
   ``yield`` a number (sleep that many milliseconds) or a
   :class:`SimFuture` (wait for it); the generator's ``return`` value
-  resolves the process's own future.  This keeps multi-step protocol logic
-  (iterative resolution, CNAME chasing, fallback races) sequential and
-  readable without threads.
+  resolves the process's own future.  Process state is reified into a
+  slotted :class:`_Process` object — one allocation per spawn — instead
+  of the old nested-closure trampoline that allocated a fresh callback
+  per yield (the deferred ``HOT_INVENTORY`` entry).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -94,25 +110,85 @@ class SimFuture:
             self._callbacks.append(callback)
 
 
+class _Process:
+    """One spawned generator's resumable state (see :meth:`Simulator.spawn`).
+
+    The old engine kept this state in a nested ``step`` closure and
+    allocated a fresh ``on_done`` closure for every future the generator
+    yielded.  Reifying it into a slotted object costs one allocation per
+    *spawn* and re-uses the same two bound methods for every subsequent
+    resume — the scheduling sequence (one ``call_after`` per sleep, one
+    done-callback per awaited future) is unchanged, so the event stream
+    is identical.
+    """
+
+    __slots__ = ("_sim", "_generator", "_done")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Any, Any, Any],
+                 done: SimFuture) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._done = done
+
+    def _step(self, send_value: Any = None,
+              throw_error: Optional[BaseException] = None) -> None:
+        try:
+            if throw_error is not None:
+                yielded = self._generator.throw(throw_error)
+            else:
+                yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._done.resolve(stop.value)
+            return
+        except Exception as error:  # noqa: BLE001 - propagate via future
+            wrapper = ProcessFailed(str(error))
+            wrapper.__cause__ = error
+            self._done.fail(wrapper)
+            return
+        if isinstance(yielded, SimFuture):
+            yielded.add_done_callback(self._resume)
+        elif isinstance(yielded, (int, float)):
+            self._sim.call_after(float(yielded), self._step)
+        else:
+            self._step(throw_error=SimulationError(
+                f"process yielded unsupported value {yielded!r}"))
+
+    def _resume(self, fut: SimFuture) -> None:
+        """Done-callback for an awaited future: send or throw its outcome."""
+        error = fut._error
+        if error is not None:
+            self._step(throw_error=error)
+        else:
+            self._step(send_value=fut._value)
+
+
+#: One pending event: the callback and its scheduler-carried arguments.
+_Event = Tuple[Callable[..., None], Tuple[Any, ...]]
+
+
 class Simulator:
     """The discrete-event clock and scheduler.  Times are milliseconds."""
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._sequence = 0
-        self._queue: List[Tuple[float, int, Callable[..., None],
-                                Tuple[Any, ...]]] = []
+        #: Current simulated time in milliseconds.  A plain attribute,
+        #: not a property: the clock is read on every span, tap, and
+        #: scheduling call, and the property descriptor was a measurable
+        #: per-event cost.  Treat it as read-only outside the engine.
+        self.now = 0.0
+        #: Per-instant event buckets; list order *is* scheduling order,
+        #: which is what the old heap's sequence tiebreak enforced.
+        self._buckets: Dict[float, List[_Event]] = {}
+        #: Min-heap of the distinct timestamps with a live bucket.
+        self._times: List[float] = []
+        #: Total events awaiting dispatch, across all buckets.
+        self._pending = 0
         self.events_processed = 0
-        #: High-water mark of the pending-event heap, for the profiler's
+        #: High-water mark of the pending-event set, for the profiler's
         #: event-loop report (how much future the simulation holds open).
         self.max_queue_depth = 0
         if _simulator_observer is not None:
             _simulator_observer(self)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in milliseconds."""
-        return self._now
 
     # -- scheduling ------------------------------------------------------------
 
@@ -121,27 +197,55 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``.
 
         Passing ``args`` through the scheduler instead of closing over
-        them keeps the per-event cost to one heap tuple — no closure
+        them keeps the per-event cost to one bucket append — no closure
         allocation on the dispatch path (HOT002).
         """
-        if when < self._now:
+        if when < self.now:
             raise SimulationError(
-                f"cannot schedule at {when} (now is {self._now})")
-        self._sequence += 1
-        heapq.heappush(self._queue, (when, self._sequence, callback, args))
-        if len(self._queue) > self.max_queue_depth:
-            self.max_queue_depth = len(self._queue)
+                f"cannot schedule at {when} (now is {self.now})")
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(callback, args)]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append((callback, args))
+        self._pending += 1
+        if self._pending > self.max_queue_depth:
+            self.max_queue_depth = self._pending
 
     def call_after(self, delay: float, callback: Callable[..., None],
                    *args: Any) -> None:
-        """Schedule ``callback(*args)`` after ``delay`` milliseconds."""
+        """Schedule ``callback(*args)`` after ``delay`` milliseconds.
+
+        The bucket append is inlined rather than delegated to
+        :meth:`call_at` — this and :meth:`call_soon` run once per event,
+        and the extra frame was a measurable slice of the dispatch loop.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.call_at(self._now + delay, callback, *args)
+        when = self.now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(callback, args)]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append((callback, args))
+        self._pending += 1
+        if self._pending > self.max_queue_depth:
+            self.max_queue_depth = self._pending
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` at the current simulated time."""
-        self.call_at(self._now, callback, *args)
+        when = self.now
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [(callback, args)]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append((callback, args))
+        self._pending += 1
+        if self._pending > self.max_queue_depth:
+            self.max_queue_depth = self._pending
 
     # -- futures -----------------------------------------------------------------
 
@@ -168,67 +272,68 @@ class Simulator:
           handle timeouts with ordinary ``try/except``.
         """
         done = self.future()
-
-        def step(send_value: Any = None,
-                 throw_error: Optional[BaseException] = None) -> None:
-            try:
-                if throw_error is not None:
-                    yielded = generator.throw(throw_error)
-                else:
-                    yielded = generator.send(send_value)
-            except StopIteration as stop:
-                done.resolve(stop.value)
-                return
-            except Exception as error:  # noqa: BLE001 - propagate via future
-                wrapper = ProcessFailed(str(error))
-                wrapper.__cause__ = error
-                done.fail(wrapper)
-                return
-            if isinstance(yielded, SimFuture):
-                def on_done(fut: SimFuture) -> None:
-                    if fut.error is not None:
-                        step(throw_error=fut.error)
-                    else:
-                        step(send_value=fut.result())
-                yielded.add_done_callback(on_done)
-            elif isinstance(yielded, (int, float)):
-                self.call_after(float(yielded), step)
-            else:
-                step(throw_error=SimulationError(
-                    f"process yielded unsupported value {yielded!r}"))
-
-        self.call_soon(step)
+        process = _Process(self, generator, done)
+        self.call_soon(process._step)
         return done
 
     # -- running -------------------------------------------------------------------------
 
-    def _drain(self, stop: Callable[[], bool], until: Optional[float],
+    def _drain(self, stop_future: Optional[SimFuture], until: Optional[float],
                max_events: int) -> bool:
         """Pop-and-dispatch loop shared by :meth:`run` and
         :meth:`run_until_resolved`.
 
-        Processes events until ``stop()`` turns true, the horizon ``until``
-        is hit (clock advances to it), or the queue drains.  Returns
-        ``False`` only on a drained queue with ``stop()`` still false.
-        ``max_events`` bounds this call; ``events_processed`` keeps
-        accumulating across calls.
+        Processes events until ``stop_future`` (when given) resolves, the
+        horizon ``until`` is hit (clock advances to it), or the queue
+        drains.  Returns ``False`` only on a drained queue with the
+        awaited future still pending.  ``max_events`` bounds this call;
+        ``events_processed`` keeps accumulating across calls.
+
+        The stop condition is a plain attribute read on the future —
+        an earlier revision took a ``stop()`` predicate, and the
+        per-event call (a ``lambda: False`` for plain ``run``!) was one
+        of the largest single entries in the dispatch profile.
+
+        Dispatch is bucket-at-a-time: the clock is set once per distinct
+        instant and every event of that instant is applied back to back.
+        Events appended to the live bucket mid-drain (``call_soon`` from
+        a callback) are picked up by the index walk in append — i.e.
+        scheduling — order, exactly as the heap's sequence tiebreak
+        ordered them.
         """
         processed = 0
-        while not stop():
-            if not self._queue:
+        buckets = self._buckets
+        times = self._times
+        while stop_future is None or not stop_future._done:
+            if not self._pending:
                 return False
-            when, _, callback, args = self._queue[0]
+            when = times[0]
             if until is not None and when > until:
-                self._now = until
+                self.now = until
                 return True
-            heapq.heappop(self._queue)
-            self._now = when
-            callback(*args)
-            processed += 1
-            self.events_processed += 1
-            if processed >= max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely a runaway loop")
+            self.now = when
+            bucket = buckets[when]
+            index = 0
+            while index < len(bucket):
+                callback, args = bucket[index]
+                index += 1
+                self._pending -= 1
+                callback(*args)
+                processed += 1
+                self.events_processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a runaway "
+                        f"loop")
+                if stop_future is not None and stop_future._done:
+                    # Keep the unapplied tail for the next drain call.
+                    del bucket[:index]
+                    if not bucket:
+                        del buckets[when]
+                        heapq.heappop(times)
+                    return True
+            del buckets[when]
+            heapq.heappop(times)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
@@ -236,10 +341,10 @@ class Simulator:
 
         Returns the simulated time when the run stopped.
         """
-        self._drain(lambda: False, until, max_events)
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+        self._drain(None, until, max_events)
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
 
     def first_success(self, futures: List[SimFuture]) -> SimFuture:
         """A future resolving with the first *successful* input result.
@@ -269,7 +374,7 @@ class Simulator:
     def run_until_resolved(self, future: SimFuture,
                            max_events: int = 10_000_000) -> Any:
         """Run until ``future`` resolves; return its result (or raise)."""
-        if not self._drain(lambda: future.done, None, max_events):
+        if not self._drain(future, None, max_events):
             raise SimulationError(
                 "event queue drained before the awaited future resolved")
         return future.result()

@@ -46,6 +46,14 @@ class Network:
         #: doing any work, so an unobserved network runs the exact same
         #: instruction stream as before the subsystem existed.
         self.telemetry = None
+        #: Cached counter instruments, valid while ``telemetry`` is
+        #: ``_metrics_facade``.  Each is still registered lazily on its
+        #: first use (identical registry contents to uncached code); the
+        #: cache only skips the registry lookup on the per-packet path.
+        self._metrics_facade = None
+        self._m_datagrams = None
+        self._m_delivered = None
+        self._m_drops = None
         #: Active partitions: (group_a, group_b) pairs of host-name sets.
         #: ``group_b is None`` means "everything not in group_a".  Empty
         #: when no fault plan is active, so the per-packet check is one
@@ -215,10 +223,15 @@ class Network:
         """
         tel = self.telemetry
         if tel is not None:
-            tel.metrics.counter(
-                "repro_net_datagrams_total",
-                "datagrams injected into the network").inc(
-                    protocol=datagram.protocol)
+            if tel is not self._metrics_facade:
+                self._metrics_facade = tel
+                self._m_datagrams = self._m_delivered = self._m_drops = None
+            counter = self._m_datagrams
+            if counter is None:
+                counter = self._m_datagrams = tel.metrics.counter(
+                    "repro_net_datagrams_total",
+                    "datagrams injected into the network")
+            counter.inc(protocol=datagram.protocol)
         self._emit("send", from_host.name, datagram)
         self._walk(datagram, from_host, elapsed=0.0, reroutes=0)
 
@@ -249,8 +262,12 @@ class Network:
         if self.telemetry is not None and ctx is not None:
             tracer = self.telemetry.tracer
         send_now = self.sim.now
+        links = self._links
         for previous, nxt in zip(hops, hops[1:]):
-            link = self.link_between(previous, nxt)
+            # Inline link_between: ``hops`` came from path() over the
+            # live graph, so every consecutive pair has a link.
+            link = links[(previous, nxt) if previous <= nxt
+                         else (nxt, previous)]
             hop_start = elapsed
             delay = link.sample_delay(previous, rng, current.size)
             if delay is None:
@@ -310,10 +327,15 @@ class Network:
             self._emit("drop", host.name, datagram)
             return
         if tel is not None:
-            tel.metrics.counter(
-                "repro_net_delivered_total",
-                "datagrams handed to a bound socket").inc(
-                    protocol=datagram.protocol)
+            if tel is not self._metrics_facade:
+                self._metrics_facade = tel
+                self._m_datagrams = self._m_delivered = self._m_drops = None
+            counter = self._m_delivered
+            if counter is None:
+                counter = self._m_delivered = tel.metrics.counter(
+                    "repro_net_delivered_total",
+                    "datagrams handed to a bound socket")
+            counter.inc(protocol=datagram.protocol)
             if datagram.trace_ctx is not None:
                 tel.tracer.event("deliver", "net", track=host.name,
                                  parent=datagram.trace_ctx,
@@ -330,12 +352,19 @@ class Network:
             elapsed, self._emit, event, host_name, datagram)
 
     def _emit(self, event: str, host_name: str, datagram: Datagram) -> None:
+        now = self.sim.now
         for tap in self._taps:
-            tap(self.sim.now, host_name, event, datagram)
+            tap(now, host_name, event, datagram)
 
     def _count_drop(self, reason: str) -> None:
         tel = self.telemetry
         if tel is not None:
-            tel.metrics.counter(
-                "repro_net_drops_total",
-                "datagrams dropped in transit").inc(reason=reason)
+            if tel is not self._metrics_facade:
+                self._metrics_facade = tel
+                self._m_datagrams = self._m_delivered = self._m_drops = None
+            counter = self._m_drops
+            if counter is None:
+                counter = self._m_drops = tel.metrics.counter(
+                    "repro_net_drops_total",
+                    "datagrams dropped in transit")
+            counter.inc(reason=reason)

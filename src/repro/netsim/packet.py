@@ -23,13 +23,18 @@ class Endpoint(NamedTuple):
 class Datagram:
     """One UDP-style datagram in flight."""
 
-    __slots__ = ("src", "dst", "payload", "protocol", "hops", "trace_ctx")
+    __slots__ = ("src", "dst", "payload", "protocol", "hops", "trace_ctx",
+                 "view", "size")
 
     def __init__(self, src: Endpoint, dst: Endpoint, payload: bytes,
                  protocol: str = "udp") -> None:
         self.src = src
         self.dst = dst
         self.payload = payload
+        #: Payload length in octets, precomputed: the size is read on
+        #: every hop (bandwidth delay) and every tap span, and the
+        #: payload never changes after construction.
+        self.size = len(payload)
         self.protocol = protocol
         #: Host names traversed so far (filled in by the network walk).
         self.hops: list = []
@@ -37,10 +42,25 @@ class Datagram:
         #: Never serialized — trace propagation must not change wire
         #: sizes or any simulated behaviour.
         self.trace_ctx = None
+        #: Optional already-decoded view of ``payload`` (opaque to this
+        #: layer — the application layers above put a dnswire Message
+        #: here).  The sender attaches it only when handing off
+        #: ownership; the receiver takes it with :meth:`claim_view`.
+        #: ``payload`` stays authoritative: the view never changes wire
+        #: sizes, delays, or any simulated behaviour, it only spares the
+        #: receiver a re-parse of bytes the sender already had decoded.
+        self.view: Optional[object] = None
 
-    @property
-    def size(self) -> int:
-        return len(self.payload)
+    def claim_view(self) -> Optional[object]:
+        """Take the decoded payload view, leaving ``None`` behind.
+
+        Claim-once keeps ownership single: whoever claims it may treat
+        the object as theirs, and any later reader (a duplicate
+        delivery, a telemetry tap) falls back to parsing ``payload``.
+        """
+        view = self.view
+        self.view = None
+        return view
 
     def rewritten(self, src: Optional[Endpoint] = None,
                   dst: Optional[Endpoint] = None) -> "Datagram":
@@ -49,6 +69,7 @@ class Datagram:
                          self.protocol)
         clone.hops = list(self.hops)
         clone.trace_ctx = self.trace_ctx
+        clone.view = self.view
         return clone
 
     def __repr__(self) -> str:

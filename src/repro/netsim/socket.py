@@ -20,6 +20,15 @@ from repro.netsim.packet import Datagram, Endpoint
 DatagramHandler = Callable[[bytes, Endpoint, "UdpSocket"], None]
 
 
+def _fail_request(future: SimFuture, dst: Endpoint, timeout: float) -> None:
+    """Timeout event for :meth:`UdpSocket.request` (no-op if already won).
+
+    A module-level function with scheduler-carried args — no closure
+    allocated per request on the hottest client path (HOT002).
+    """
+    future.fail(QueryTimeout(f"no reply from {dst} within {timeout}ms"))
+
+
 class UdpSocket:
     """A socket bound to one (host, ip, port)."""
 
@@ -47,17 +56,24 @@ class UdpSocket:
 
     # -- sending --------------------------------------------------------------
 
-    def send_to(self, payload: bytes, dst: Endpoint, ctx=None) -> None:
+    def send_to(self, payload: bytes, dst: Endpoint, ctx=None,
+                view=None) -> None:
         """Send ``payload`` to ``dst`` (fire and forget).
 
         ``ctx`` optionally attaches a telemetry trace context that rides
         the datagram out-of-band (it never touches the wire bytes).
+        ``view`` optionally attaches an already-decoded view of
+        ``payload`` (see :meth:`Datagram.claim_view`); attach one only
+        when this sender is done with the object — the receiver that
+        claims it owns it.
         """
         if self.closed:
             raise SocketError("send on closed socket")
         datagram = Datagram(self.endpoint, dst, payload)
         if ctx is not None:
             datagram.trace_ctx = ctx
+        if view is not None:
+            datagram.view = view
         assert self.host.network is not None
         self.host.network.send(datagram, self.host)
 
@@ -76,12 +92,7 @@ class UdpSocket:
         sim = self.host.network.sim  # type: ignore[union-attr]
         future = sim.future()
         self._pending_request = future
-
-        def on_timeout() -> None:
-            future.fail(QueryTimeout(
-                f"no reply from {dst} within {timeout}ms"))
-
-        sim.call_after(timeout, on_timeout)
+        sim.call_after(timeout, _fail_request, future, dst, timeout)
         self.send_to(payload, dst, ctx=ctx)
         return future
 

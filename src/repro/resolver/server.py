@@ -15,7 +15,7 @@ from __future__ import annotations
 import inspect
 from typing import Generator, Optional
 
-from repro.dnswire.message import Message, make_response
+from repro.dnswire.message import Message, cached_wire, make_response
 from repro.dnswire.types import Opcode, Rcode
 from repro.errors import QueryTimeout, WireFormatError
 from repro.netsim.latency import Constant, LatencyModel
@@ -189,7 +189,7 @@ class DnsServer:
     def _send(self, response: Message, client: Endpoint,
               query: Optional[Message] = None) -> None:
         self.responses_sent += 1
-        wire = response.to_wire()
+        wire = cached_wire(response)
         max_payload = CLASSIC_UDP_PAYLOAD
         if query is not None and query.edns is not None:
             max_payload = max(query.edns.udp_payload, CLASSIC_UDP_PAYLOAD)
@@ -202,10 +202,13 @@ class DnsServer:
                 recursion_available=response.flags.ra,
                 authoritative=response.flags.aa)
             truncated.flags.tc = True
-            wire = truncated.to_wire()
+            wire = cached_wire(truncated)
+            response = truncated
             self.truncated_sent += 1
         ctx = getattr(query, "trace_ctx", None) if query is not None else None
-        self.sock.send_to(wire, client, ctx=ctx)
+        # The response object is done on this side — hand it to the
+        # client as a decoded view so the reply is never re-parsed.
+        self.sock.send_to(wire, client, ctx=ctx, view=response)
 
     def _send_error_for_garbage(self, payload: bytes, client: Endpoint) -> None:
         """Best effort FORMERR: echo the query id if two octets exist."""
@@ -236,7 +239,7 @@ class DnsServer:
         sock = UdpSocket(self.host, ip=self.sock.ip)
         try:
             reply = yield sock.request(
-                query.to_wire(), server, timeout,
+                cached_wire(query), server, timeout,
                 ctx=span.context if span is not None else ctx)
         except Exception as error:
             if tel is not None:
@@ -244,7 +247,9 @@ class DnsServer:
             raise
         finally:
             sock.close()
-        response = Message.from_wire(reply.payload)
+        view = reply.claim_view()
+        response = view if isinstance(view, Message) \
+            else Message.from_wire(reply.payload)
         if tel is not None:
             tel.tracer.end(span, outcome=response.rcode.name)
         return response

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.dnswire.edns import Edns
-from repro.dnswire.message import Message, ResourceRecord, make_query
+from repro.dnswire.message import (Message, ResourceRecord, cached_wire,
+                                    make_query)
 from repro.dnswire.name import Name
 from repro.dnswire.types import Rcode, RecordType
 from repro.errors import QueryTimeout, WireFormatError
@@ -228,7 +229,7 @@ class StubResolver:
                                     server=target.ip)
         probe_ctx = span.context if span is not None else ctx
         try:
-            reply = yield sock.request(query.to_wire(), target,
+            reply = yield sock.request(cached_wire(query), target,
                                        per_try_timeout, ctx=probe_ctx)
         except Exception as error:
             if tel is not None:
@@ -237,7 +238,9 @@ class StubResolver:
         finally:
             sock.close()
         try:
-            response = Message.from_wire(reply.payload)
+            view = reply.claim_view()
+            response = view if isinstance(view, Message) \
+                else Message.from_wire(reply.payload)
             if response.msg_id != msg_id:
                 raise WireFormatError("transaction id mismatch")
             if response.flags.tc:
@@ -312,7 +315,7 @@ class StubResolver:
                 self.network, self.host, Endpoint(target.ip, DNS_TCP_PORT),
                 timeout=timeout)
             try:
-                raw = yield from channel.exchange(query.to_wire(),
+                raw = yield from channel.exchange(cached_wire(query),
                                                   timeout=timeout)
             finally:
                 channel.close()

@@ -24,7 +24,8 @@ from repro.runtime.capture import (ProfileStats, TelemetrySnapshot,
                                    begin_trial_capture, end_trial_capture,
                                    merge_profile_stats, merge_snapshot)
 from repro.runtime.executor import (ExperimentRun, TrialExecutor,
-                                    TrialFailure, TrialOutcome)
+                                    TrialFailure, TrialOutcome,
+                                    shutdown_worker_pool, warm_worker_pool)
 from repro.runtime.experiment import (Experiment, Param, jsonify,
                                       result_digest)
 from repro.runtime.registry import ExperimentRegistry
@@ -48,6 +49,8 @@ __all__ = [
     "freeze_cell",
     "jsonify",
     "merge_profile_stats",
+    "shutdown_worker_pool",
+    "warm_worker_pool",
     "merge_snapshot",
     "result_digest",
 ]

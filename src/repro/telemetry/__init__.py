@@ -62,7 +62,7 @@ class Telemetry:
         stack checks before doing any work.
         """
         network.telemetry = self
-        self.tracer.bind_clock(lambda: network.sim.now)
+        self.tracer.bind_clock_source(network.sim)
         return self
 
     def detach(self, network) -> None:

@@ -41,7 +41,15 @@ class Counter:
         """Add ``amount`` (>= 0) to the sample selected by ``labels``."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        key = _label_key(labels)
+        if len(labels) == 1:
+            # Fast path for the overwhelmingly common one-label case:
+            # sorting a single pair is the identity, so the key can be
+            # built directly (same key bytes as ``_label_key``).
+            (name, value), = labels.items()
+            key: LabelKey = ((name, value if type(value) is str
+                              else str(value)),)
+        else:
+            key = _label_key(labels)
         self._samples[key] = self._samples.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:

@@ -101,12 +101,27 @@ class Tracer:
         self.finished: List[Span] = []
         self.dropped = 0
         self._clock: Callable[[], float] = lambda: 0.0
+        #: When bound, the clock is read as ``_clock_source.now`` — a
+        #: plain attribute load instead of a callable invocation.  The
+        #: clock is read on every span begin/end/event, so the callable
+        #: indirection was a measurable slice of instrumented runs.
+        self._clock_source: Optional[Any] = None
         self._next_trace_id = 0
         self._next_span_id = 0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a simulator clock (``lambda: sim.now``)."""
         self._clock = clock
+        self._clock_source = None
+
+    def bind_clock_source(self, source: Any) -> None:
+        """Read the clock from ``source.now`` (any object with a ``now``
+        attribute, typically a :class:`~repro.netsim.Simulator`)."""
+        self._clock_source = source
+
+    def _now(self) -> float:
+        source = self._clock_source
+        return source.now if source is not None else self._clock()
 
     # -- span lifecycle ---------------------------------------------------------
 
@@ -115,17 +130,23 @@ class Tracer:
         """Open a span starting now; ``parent=None`` starts a new trace."""
         if not self.enabled:
             return None
+        source = self._clock_source
+        now = source.now if source is not None else self._clock()
         return self._make(name, category, track, parent,
-                          start_ms=self._clock(), end_ms=None, attrs=attrs)
+                          start_ms=now, end_ms=None, attrs=attrs)
 
     def end(self, span: Optional[Span], **attrs: Any) -> None:
         """Close ``span`` at the current clock; no-op on ``None``."""
         if span is None or span.end_ms is not None:
             return
-        span.end_ms = self._clock()
+        source = self._clock_source
+        span.end_ms = source.now if source is not None else self._clock()
         if attrs:
             span.attrs.update(attrs)
-        self._record(span)
+        if len(self.finished) < self.max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
 
     def add(self, name: str, category: str, track: str,
             start_ms: float, end_ms: float,
@@ -140,7 +161,10 @@ class Tracer:
             return None
         span = self._make(name, category, track, parent,
                           start_ms=start_ms, end_ms=end_ms, attrs=attrs)
-        self._record(span)
+        if len(self.finished) < self.max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
         return span
 
     def event(self, name: str, category: str, track: str,
@@ -148,10 +172,14 @@ class Tracer:
         """Record an instant (zero-duration) event at the current clock."""
         if not self.enabled:
             return None
-        now = self._clock()
+        source = self._clock_source
+        now = source.now if source is not None else self._clock()
         span = self._make(name, category, track, parent,
                           start_ms=now, end_ms=now, attrs=attrs)
-        self._record(span)
+        if len(self.finished) < self.max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
         return span
 
     # -- reading back -----------------------------------------------------------

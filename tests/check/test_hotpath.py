@@ -67,6 +67,31 @@ class TestHot001LoopInvariantWire:
                 return out
             """, tmp_path) == []
 
+    def test_invariant_cached_wire_clean(self, tmp_path):
+        # cached_wire memoizes on message content: a loop-invariant
+        # call is a dict hit, which is the fix HOT001 suggests.
+        assert lint(
+            """\
+            from repro.dnswire.message import cached_wire
+
+            def send(msg, sock, targets):
+                for target in targets:
+                    sock.send(cached_wire(msg), target)
+            """, tmp_path) == []
+
+    def test_to_wire_message_suggests_cached_wire(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(textwrap.dedent(
+            """\
+            def send(msg, sock, targets):
+                for target in targets:
+                    sock.send(msg.to_wire(), target)
+            """))
+        findings = hotpath.analyze(load_tree([str(path)]),
+                                   hot_prefixes=HOT)
+        assert len(findings) == 1
+        assert "cached_wire" in findings[0].message
+
     def test_foreign_make_query_clean(self, tmp_path):
         # A make_query that does not resolve into repro.dnswire is not
         # wire-layer work.
