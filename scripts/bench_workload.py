@@ -27,8 +27,10 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro import telemetry as telemetry_mod  # noqa: E402
 from repro.experiments.population import EXPERIMENT  # noqa: E402
 from repro.runtime import TrialExecutor, result_digest  # noqa: E402
+from repro.telemetry import Telemetry, TelemetryConfig  # noqa: E402
 from repro.workload import CALIBRATION_QUERIES, calibrate  # noqa: E402
 
 #: The deployment the headline number runs against: the paper's winner,
@@ -41,15 +43,37 @@ def _peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def _timed_run(overrides, jobs):
+#: The sampled capture config the telemetry-overhead leg runs under —
+#: the same shape the CI population smoke passes on the command line.
+TELEMETRY_CONFIG = TelemetryConfig(trace_sample=0.05, window_ms=60000.0,
+                                   tail_capacity=32)
+
+
+def _timed_run(overrides, jobs, config=None):
+    """One run; returns (wall s, CPU s, result, digest, telemetry).
+
+    CPU seconds (``time.process_time``) only cover in-process work, so
+    they are meaningful for ``jobs=1`` legs — and immune to the
+    wall-clock noise of shared runners, which is why the telemetry
+    overhead percentage is computed from them.
+    """
+    tel = None
+    if config is not None:
+        tel = Telemetry.from_config(config)
+        telemetry_mod.set_default(tel)
     started = time.perf_counter()
-    run = TrialExecutor(jobs=jobs).run(EXPERIMENT, overrides)
+    cpu_started = time.process_time()
+    try:
+        run = TrialExecutor(jobs=jobs).run(EXPERIMENT, overrides)
+    finally:
+        telemetry_mod.clear_default()
     elapsed = time.perf_counter() - started
+    cpu = time.process_time() - cpu_started
     if not run.ok:
         for failure in run.failures:
             print(f"  FAILED {failure.describe()}", file=sys.stderr)
         raise SystemExit(f"population failed with jobs={jobs}")
-    return elapsed, run.result, result_digest(run.result)
+    return elapsed, cpu, run.result, result_digest(run.result), tel
 
 
 def main() -> int:
@@ -61,7 +85,13 @@ def main() -> int:
     parser.add_argument("--districts", type=int, default=2)
     parser.add_argument("--allocation", default="content",
                         choices=("content", "client", "client-bounded"))
+    parser.add_argument("--overhead-repeats", type=int, default=3,
+                        help="runs per side for the telemetry-overhead "
+                             "comparison; min CPU of each side is used "
+                             "(default: 3)")
     args = parser.parse_args()
+    if args.overhead_repeats < 1:
+        parser.error("--overhead-repeats must be >= 1")
     if args.target_queries < 1:
         parser.error("--target-queries must be >= 1")
 
@@ -85,13 +115,15 @@ def main() -> int:
           f"{DEPLOYMENT}, {args.districts} districts, "
           f"allocation={args.allocation}")
 
-    serial_s, serial_result, serial_digest = _timed_run(overrides, 1)
+    serial_s, serial_cpu, serial_result, serial_digest, _ = \
+        _timed_run(overrides, 1)
     row = serial_result.row(DEPLOYMENT)
     serial_qps = row.queries / serial_s if serial_s else 0.0
     print(f"  jobs=1: {row.queries:,} queries in {serial_s:.2f} s "
           f"({serial_qps:,.0f} q/s)")
 
-    sharded_s, sharded_result, sharded_digest = _timed_run(overrides, 2)
+    sharded_s, _, sharded_result, sharded_digest, _ = \
+        _timed_run(overrides, 2)
     sharded_qps = (sharded_result.row(DEPLOYMENT).queries / sharded_s
                    if sharded_s else 0.0)
     print(f"  jobs=2: {sharded_s:.2f} s ({sharded_qps:,.0f} q/s)")
@@ -99,6 +131,42 @@ def main() -> int:
         raise SystemExit(f"sharded digest diverged from serial "
                          f"({sharded_digest} != {serial_digest})")
     print(f"  digests match ({serial_digest[:12]}...)")
+
+    # Telemetry overhead: the same serial run under sampled capture
+    # (traces + time-series + tail exemplars) must keep the digest and
+    # stay cheap.  Overhead is computed from CPU seconds so a noisy
+    # runner can't fake a wall-clock regression, and both sides run
+    # --overhead-repeats times in alternation with the min taken —
+    # best-of-N is the standard way to strip scheduler and frequency
+    # noise from a CPU-bound comparison.
+    # Each repeat is a back-to-back (off, on) pair so a drifting
+    # machine — co-tenants, frequency scaling — degrades both sides of
+    # a pair together instead of skewing one; the quietest pair wins.
+    pair_pcts = []
+    tel_s = 0.0
+    tel_result = tel = None
+    for repeat in range(args.overhead_repeats):
+        _, off_cpu, _, off_digest, _ = _timed_run(overrides, 1)
+        if off_digest != serial_digest:
+            raise SystemExit("serial digest unstable across repeats")
+        tel_s, tel_cpu, tel_result, tel_digest, tel = \
+            _timed_run(overrides, 1, TELEMETRY_CONFIG)
+        if tel_digest != serial_digest:
+            raise SystemExit(f"telemetry perturbed the digest "
+                             f"({tel_digest} != {serial_digest})")
+        pair_pct = (100.0 * (tel_cpu - off_cpu) / off_cpu
+                    if off_cpu else 0.0)
+        pair_pcts.append(pair_pct)
+        print(f"  overhead pair {repeat + 1}/{args.overhead_repeats}: "
+              f"off {off_cpu:.2f} s vs on {tel_cpu:.2f} s CPU "
+              f"({pair_pct:+.1f}%)")
+    tel_qps = (tel_result.row(DEPLOYMENT).queries / tel_s
+               if tel_s else 0.0)
+    overhead_pct = min(pair_pcts)
+    print(f"  telemetry on: {tel_s:.2f} s ({tel_qps:,.0f} q/s), "
+          f"{len(tel.tracer.finished)} spans, {len(tel.tail)} tail "
+          f"exemplars; CPU overhead {overhead_pct:+.1f}% "
+          f"(best of {args.overhead_repeats}, digest unchanged)")
 
     peak_mb = _peak_rss_mb()
     print(f"  peak RSS {peak_mb:.0f} MiB "
@@ -124,6 +192,19 @@ def main() -> int:
             "jobs2_qps": round(sharded_qps, 1),
             "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
             "peak_rss_mb": round(peak_mb, 1),
+        },
+        "telemetry": {
+            "trace_sample": TELEMETRY_CONFIG.trace_sample,
+            "window_ms": TELEMETRY_CONFIG.window_ms,
+            "tail_exemplars": TELEMETRY_CONFIG.tail_capacity,
+            "seconds": round(tel_s, 3),
+            "qps": round(tel_qps, 1),
+            "overhead_repeats": args.overhead_repeats,
+            "pair_overheads_pct": [round(pct, 1) for pct in pair_pcts],
+            "cpu_overhead_pct": round(overhead_pct, 1),
+            "spans": len(tel.tracer.finished),
+            "tail_kept": len(tel.tail),
+            "digest_unchanged": True,
         },
         "result": {
             "localization": round(row.localization, 4),

@@ -16,6 +16,9 @@ Subcommands:
   collapsed-stack flamegraph input, and ``BENCH_profile.json``.
 * ``slo <rules.slo> --input <artifact.json>`` — evaluate declarative
   latency SLOs over budget/metrics artifacts; exits nonzero on breach.
+* ``tail <artifact.json>`` — print the tail-latency exemplars a
+  telemetry artifact retained (slowest queries with per-stage
+  attribution); ``--trace-out`` reconstructs them for Perfetto.
 
 The artifact list and every experiment flag (``--trials``,
 ``--queries``, ``--seed``, ``--attack-qps``, ...) come out of the
@@ -60,13 +63,16 @@ def _get_registry():
     return _registry
 
 
-def _run_experiment(name: str, args: argparse.Namespace) -> int:
+def _run_experiment(name: str, args: argparse.Namespace,
+                    executor_meta: Optional[dict] = None) -> int:
     """Run one registered artifact; returns 0 unless a trial crashed."""
     from repro.runtime import TrialExecutor
     experiment = _get_registry().get(name)
     overrides = {param.name: getattr(args, param.name)
                  for param in experiment.params if param.cli}
     run = TrialExecutor(jobs=args.jobs).run(experiment, overrides)
+    if executor_meta is not None and run.executor_stats is not None:
+        executor_meta[name] = run.executor_stats.to_dict()
     if run.failures:
         print(f"error: {len(run.failures)} of {len(run.outcomes)} trials "
               f"failed for {name}:", file=sys.stderr)
@@ -85,21 +91,29 @@ def _maybe_install_telemetry(args: argparse.Namespace):
     """Install ambient telemetry when ``--trace-out``/``--metrics-out`` ask.
 
     Returns the installed :class:`repro.telemetry.Telemetry`, or ``None``
-    when neither flag was given (the zero-cost default).
+    when neither flag was given (the zero-cost default).  The sampling
+    flags (``--trace-sample``, ``--window-ms``, ``--tail-exemplars``)
+    shape the facade; on their own they do not turn capture on.
     """
     if not (args.trace_out or args.metrics_out):
         return None
     from repro import telemetry
-    tel = telemetry.Telemetry()
+    tel = telemetry.Telemetry(trace_sample=args.trace_sample,
+                              window_ms=args.window_ms,
+                              tail_capacity=args.tail_exemplars)
     telemetry.set_default(tel)
     return tel
 
 
-def _export_telemetry(tel, args: argparse.Namespace) -> None:
+def _export_telemetry(tel, args: argparse.Namespace,
+                      meta: Optional[dict] = None) -> None:
     """Uninstall ambient telemetry and write the requested artifacts.
 
     ``--metrics-out`` picks its format by extension: ``.prom``/``.txt``
-    gets the Prometheus text exposition, anything else the JSON artifact.
+    gets the Prometheus text exposition, anything else the JSON artifact
+    (metrics + span roll-ups + time-series + tail exemplars, with any
+    ``meta`` — e.g. executor chunk stats — kept out of the
+    byte-compared payload).
     """
     from repro import telemetry
     from repro.telemetry import exporters
@@ -120,17 +134,22 @@ def _export_telemetry(tel, args: argparse.Namespace) -> None:
                 exporters.write_prometheus_text(tel.metrics, args.metrics_out)
             else:
                 exporters.write_json_artifact(tel.metrics, args.metrics_out,
-                                              spans=tel.tracer.finished)
+                                              spans=tel.tracer.finished,
+                                              meta=meta,
+                                              timeseries=tel.timeseries,
+                                              tail=tel.tail)
         except OSError as exc:
             print(f"error: cannot write metrics to {args.metrics_out}: {exc}",
                   file=sys.stderr)
         else:
-            print(f";; wrote {len(tel.metrics)} metric instruments to "
-                  f"{args.metrics_out}", file=sys.stderr)
+            print(f";; wrote {len(tel.metrics)} metric instruments and "
+                  f"{len(tel.tail)} tail exemplars to {args.metrics_out}",
+                  file=sys.stderr)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     tel = _maybe_install_telemetry(args)
+    executor_meta: dict = {}
     status = 0
     try:
         names = (_get_registry().names() if args.artifact == "all"
@@ -138,10 +157,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for index, name in enumerate(names):
             if index:
                 print()
-            status = _run_experiment(name, args) or status
+            status = _run_experiment(name, args, executor_meta) or status
     finally:
         if tel is not None:
-            _export_telemetry(tel, args)
+            _export_telemetry(
+                tel, args,
+                meta={"executor": executor_meta} if executor_meta else None)
     return status
 
 
@@ -192,10 +213,39 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return profile_runner.run_slo_cli(args)
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.profile import runner as profile_runner
+    return profile_runner.run_tail_cli(args)
+
+
 def _cmd_deployments(args: argparse.Namespace) -> int:
     for key in DEPLOYMENT_KEYS:
         print(f"{key:22s} {DEPLOYMENT_LABELS[key]}")
     return 0
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``experiment`` and ``dig``)."""
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace_event JSON of every "
+                             "query's spans (open in about:tracing/Perfetto)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write collected metrics (.prom/.txt = "
+                             "Prometheus text, otherwise JSON artifact "
+                             "with time-series and tail exemplars)")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        metavar="RATE",
+                        help="deterministic head-sampling rate for traces "
+                             "in [0, 1] (default: 1.0 = keep all; "
+                             "sampling changes no simulation results)")
+    parser.add_argument("--window-ms", type=float, default=1000.0,
+                        metavar="MS",
+                        help="simulated-time window width for the "
+                             "streaming time-series (default: 1000)")
+    parser.add_argument("--tail-exemplars", type=int, default=32,
+                        metavar="N",
+                        help="slowest-query exemplars to retain "
+                             "(default: 32; 0 disables tail capture)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,12 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes per artifact (1 = in-process "
                           "serial; output is identical either way)")
-    exp.add_argument("--trace-out", metavar="PATH",
-                     help="write a Chrome trace_event JSON of every "
-                          "query's spans (open in about:tracing/Perfetto)")
-    exp.add_argument("--metrics-out", metavar="PATH",
-                     help="write collected metrics (.prom/.txt = "
-                          "Prometheus text, otherwise JSON artifact)")
+    _add_telemetry_arguments(exp)
     exp.set_defaults(handler=_cmd_experiment)
 
     dig = sub.add_parser("dig", help="query a Figure 5 deployment")
@@ -233,12 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     dig.add_argument("--verbose", action="store_true",
                      help="print one full dig-style response instead of "
                           "the latency series")
-    dig.add_argument("--trace-out", metavar="PATH",
-                     help="write a Chrome trace_event JSON of every "
-                          "query's spans (open in about:tracing/Perfetto)")
-    dig.add_argument("--metrics-out", metavar="PATH",
-                     help="write collected metrics (.prom/.txt = "
-                          "Prometheus text, otherwise JSON artifact)")
+    _add_telemetry_arguments(dig)
     dig.set_defaults(handler=_cmd_dig)
 
     dep = sub.add_parser("deployments",
@@ -268,6 +308,14 @@ def build_parser() -> argparse.ArgumentParser:
              "artifacts (exits nonzero on breach)")
     add_slo_arguments(slo)
     slo.set_defaults(handler=_cmd_slo)
+
+    from repro.profile.runner import add_tail_arguments
+    tail = sub.add_parser(
+        "tail",
+        help="print a telemetry artifact's tail-latency exemplars "
+             "(slowest queries with per-stage attribution)")
+    add_tail_arguments(tail)
+    tail.set_defaults(handler=_cmd_tail)
     return parser
 
 

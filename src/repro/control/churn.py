@@ -105,6 +105,12 @@ class ChurnDriver:
             tel.metrics.counter(
                 "repro_control_churn_events_total",
                 "orchestrator churn events applied").inc(kind=event.kind)
+            tel.timeseries.annotate(
+                now, "churn",
+                detail=(f"{event.kind}"
+                        f"{event.replicas if event.kind == SCALE else ''}"
+                        f" live={len(self.live)}"),
+                scope=self.site.name)
         self.registry.update(self.live)
 
     def _live_ips(self) -> Tuple[str, ...]:

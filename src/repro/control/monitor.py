@@ -47,10 +47,14 @@ class StalenessMonitor:
 
     def __init__(self, network: Network,
                  live: Callable[[], Sequence[str]],
-                 in_window: Callable[[], bool]) -> None:
+                 in_window: Callable[[], bool],
+                 scope: str = "") -> None:
         self.network = network
         self._live = live
         self._in_window = in_window
+        #: Deployment label stamped on the monitor's time-series (the
+        #: control plane passes its testbed key); empty means unscoped.
+        self.scope = scope
         self._updates: Dict[int, _UpdateState] = {}
         self.lookups = 0
         self.answered = 0
@@ -98,6 +102,14 @@ class StalenessMonitor:
                 "answers judged by the staleness monitor").inc(
                     mislocalized=str(mislocalized), stale=str(stale),
                     in_window=str(in_window))
+            # Windowed counts are what the SLO burn-rate rules consume:
+            # a mislocalization burst shows up as a spike in the
+            # mislocalized series against the answers series.
+            tel.timeseries.count("repro_control_answers", time,
+                                 deployment=self.scope)
+            if mislocalized:
+                tel.timeseries.count("repro_control_mislocalized", time,
+                                     deployment=self.scope)
         return mislocalized
 
     # -- derived quantities -------------------------------------------------

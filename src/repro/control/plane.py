@@ -116,7 +116,8 @@ class ControlPlane:
         self.driver: Optional[ChurnDriver] = None
         self.monitor = StalenessMonitor(
             network, live=self._live_addresses,
-            in_window=self.coordinator.in_flight)
+            in_window=self.coordinator.in_flight,
+            scope=testbed.key)
         self.registry.subscribe(
             lambda update, zone: self.monitor.note_update(update))
         if site.ldns.cache_plugin is not None:

@@ -172,6 +172,12 @@ class PropagationCoordinator:
                 "repro_control_zone_applied_total",
                 "zone versions applied to the MEC routing view").inc(
                     origin=str(self.registry.origin))
+            tel.timeseries.annotate(
+                time, "zone_applied",
+                detail=(f"serial={serial} delay_ms="
+                        f"{delay:.1f}" if delay is not None
+                        else f"serial={serial}"),
+                scope=str(self.registry.origin))
 
     # -- observability ------------------------------------------------------
 

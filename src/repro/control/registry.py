@@ -134,6 +134,11 @@ class ZoneRegistry:
                 "repro_control_zone_updates_total",
                 "registry zone versions published").inc(
                     origin=str(self.origin))
+            tel.timeseries.annotate(
+                update.time, "zone_update",
+                detail=(f"serial={update.serial} "
+                        f"+{len(update.added)} -{len(update.removed)}"),
+                scope=str(self.origin))
         for callback in self._subscribers:
             callback(update, new_zone)
         return update

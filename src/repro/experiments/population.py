@@ -233,7 +233,8 @@ class PopulationExperiment(Experiment):
         config = self._config(cell_params)
         model = calibrate(key, spec.seed)
         stats = run_district(config, model,
-                             district_seed(spec.seed, key, district))
+                             district_seed(spec.seed, key, district),
+                             scope=f"{key}/d{district}")
         return _ShardPayload(key=key, district=district, stats=stats)
 
     def merge(self, params: Mapping[str, object],

@@ -205,6 +205,9 @@ class FaultInjector:
                                     kind=event.kind)
             tel.tracer.event("fault", "faults", "fault-injector",
                              kind=event.kind, detail=event.describe())
+            tel.timeseries.annotate(self.network.sim.now, "fault",
+                                    detail=event.describe(),
+                                    scope="fault-injector")
 
     def _apply_host_down(self, event: FaultEvent) -> None:
         self.network.host(event.params["host"]).down = True

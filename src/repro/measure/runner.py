@@ -137,7 +137,8 @@ def measure_deployment_run(testbed: Testbed, count: int,
                     tel.metrics.histogram(
                         "repro_lookup_latency_ms",
                         "measured DNS lookup latency").observe(
-                            finished - started)
+                            finished - started,
+                            exemplar={"trace_id": str(span.trace_id)})
             if index >= warmup:
                 wireless = _wireless_portion(trace, started, finished)
                 total = result.query_time_ms

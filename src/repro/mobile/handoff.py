@@ -75,6 +75,10 @@ class HandoffController:
                              ue=ue.name, source=source.name,
                              target=target.name,
                              dns_switched=record.dns_switched)
+            tel.timeseries.annotate(
+                record.time, "handoff",
+                detail=f"{ue.name} {source.name}->{target.name}",
+                scope=ue.name)
             tel.metrics.counter(
                 "repro_handoffs_total",
                 "completed UE handoffs between base stations").inc(

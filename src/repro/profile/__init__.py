@@ -33,7 +33,8 @@ from repro.profile.criticalpath import (STAGE_BACKHAUL, STAGE_CDNS,
 from repro.profile.profiler import (ProfileEntry, collapsed_stacks,
                                     render_collapsed, render_profile,
                                     simulated_profile)
-from repro.profile.slo import (SloCheck, SloParseError, SloRule, SloVerdict,
+from repro.profile.slo import (BurnRateRule, SloCheck, SloParseError,
+                               SloRule, SloVerdict, WindowRule,
                                evaluate_slo, parse_slo_text)
 
 __all__ = [
@@ -52,10 +53,12 @@ __all__ = [
     "PathStep",
     "ProfileEntry",
     "Segment",
+    "BurnRateRule",
     "SloCheck",
     "SloParseError",
     "SloRule",
     "SloVerdict",
+    "WindowRule",
     "StageBudget",
     "analyze_trace",
     "budget_report",

@@ -1,10 +1,10 @@
-"""CLI glue for ``repro profile`` and ``repro slo``.
+"""CLI glue for ``repro profile``, ``repro slo``, and ``repro tail``.
 
 Mirrors :mod:`repro.check.runner`: ``add_*_arguments`` installs the
 flags on a subparser, ``run_*_cli`` executes a parsed invocation and
 returns the exit status (0 ok, 1 breach/failure, 2 usage error).  The
 heavyweight imports (experiments, the harness) happen lazily so
-``repro slo`` on an existing artifact stays cheap.
+``repro slo``/``repro tail`` on an existing artifact stay cheap.
 """
 
 from __future__ import annotations
@@ -109,6 +109,75 @@ def run_slo_cli(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     return 0 if verdict.ok else 1
+
+
+def add_tail_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags for ``repro tail``."""
+    parser.add_argument("artifact", metavar="ARTIFACT.json",
+                        help="repro-telemetry-v1 artifact with an "
+                             "'exemplars' section (written by "
+                             "repro experiment ... --metrics-out)")
+    parser.add_argument("--top", type=int, default=0,
+                        help="exemplars to print (default: all retained)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also reconstruct the exemplars as span "
+                             "trees and write a Chrome trace_event JSON "
+                             "(open in about:tracing/Perfetto)")
+
+
+def run_tail_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed ``repro tail`` invocation."""
+    from repro.telemetry.sampling import Exemplar
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load artifact {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not isinstance(document, dict) or "exemplars" not in document:
+        print(f"error: {args.artifact} has no 'exemplars' section (rerun "
+              f"the experiment with --metrics-out and tail capture on)",
+              file=sys.stderr)
+        return 2
+    try:
+        exemplars = [Exemplar.from_dict(entry)
+                     for entry in document["exemplars"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed exemplar in {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    exemplars.sort(key=Exemplar.sort_key)
+    shown = exemplars[:args.top] if args.top > 0 else exemplars
+    print(f"{len(exemplars)} tail exemplars in {args.artifact} "
+          f"(slowest first):")
+    for rank, exemplar in enumerate(shown, 1):
+        attrs = dict(exemplar.attrs)
+        context = " ".join(f"{key}={value}"
+                           for key, value in sorted(attrs.items()))
+        print(f"\n#{rank:<3d} {exemplar.total_ms:9.2f} ms  "
+              f"t={exemplar.t_ms:.1f}  {exemplar.key}")
+        if context:
+            print(f"     {context}")
+        for stage, ms in exemplar.stages:
+            share = (100.0 * ms / exemplar.total_ms
+                     if exemplar.total_ms else 0.0)
+            print(f"     {stage:<14s} {ms:9.2f} ms  {share:5.1f}%")
+    if args.trace_out:
+        from repro.telemetry import exporters
+        from repro.telemetry.sampling import exemplar_spans
+        from repro.telemetry.trace import Tracer
+        tracer = Tracer()
+        exemplar_spans(exemplars, tracer)
+        try:
+            exporters.write_chrome_trace(tracer.finished, args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"\n;; wrote {len(tracer.finished)} reconstructed spans to "
+              f"{args.trace_out} (open in about:tracing or Perfetto)")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

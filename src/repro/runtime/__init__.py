@@ -23,8 +23,8 @@ name.  See ``docs/RUNTIME.md`` for the full tour.
 from repro.runtime.capture import (ProfileStats, TelemetrySnapshot,
                                    begin_trial_capture, end_trial_capture,
                                    merge_profile_stats, merge_snapshot)
-from repro.runtime.executor import (ExperimentRun, TrialExecutor,
-                                    TrialFailure, TrialOutcome,
+from repro.runtime.executor import (ChunkStats, ExecutorStats, ExperimentRun,
+                                    TrialExecutor, TrialFailure, TrialOutcome,
                                     shutdown_worker_pool, warm_worker_pool)
 from repro.runtime.experiment import (Experiment, Param, jsonify,
                                       result_digest)
@@ -33,6 +33,8 @@ from repro.runtime.spec import CellItems, TrialSpec, derive_seed, freeze_cell
 
 __all__ = [
     "CellItems",
+    "ChunkStats",
+    "ExecutorStats",
     "Experiment",
     "ExperimentRegistry",
     "ExperimentRun",

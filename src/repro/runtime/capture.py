@@ -11,9 +11,10 @@ merges the snapshots into the session facade *after the barrier, in
 spec order*.  Exported traces and metrics therefore come out
 byte-identical for ``--jobs 1`` and ``--jobs N``.
 
-A snapshot carries finished spans plus the metrics registry — both are
-plain data and pickle cleanly; the tracer itself does not (its clock is
-a lambda), which is exactly why snapshots exist.
+A snapshot carries finished spans, the metrics registry, the windowed
+time-series, the tail-exemplar reservoir, and a triple of engine
+counters — all plain data that pickles cleanly; the tracer itself does
+not (its clock is a lambda), which is exactly why snapshots exist.
 
 The same begin/snapshot/merge discipline covers **wall-clock profiles**
 (``repro profile``): each trial optionally runs under its own
@@ -31,7 +32,8 @@ import cProfile
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, cast
 
 from repro import telemetry as _telemetry
-from repro.telemetry import MetricsRegistry, Span, Telemetry
+from repro.telemetry import (MetricsRegistry, Span, TailReservoir, Telemetry,
+                             TelemetryConfig, TimeSeries)
 
 #: cProfile's function identity: ``(filename, lineno, funcname)``.
 FuncKey = Tuple[str, int, str]
@@ -48,17 +50,34 @@ class TelemetrySnapshot(NamedTuple):
 
     spans: List[Span]
     dropped: int
+    #: Spans head-sampling discarded in this trial (accounting only).
+    sampled_out: int
     metrics: MetricsRegistry
+    #: Windowed counters/latency aggregates on the simulated timeline.
+    timeseries: TimeSeries
+    #: Slowest-query exemplars retained by this trial.
+    tail: TailReservoir
+    #: ``(simulators, max queue high-water, events processed)`` read off
+    #: the engine at trial end — plain ints, merged max/sum/sum.
+    engine: Tuple[int, int, int]
 
 
-def begin_trial_capture(enabled: bool) -> Optional[Telemetry]:
+def begin_trial_capture(
+        config: Optional[TelemetryConfig]) -> Optional[Telemetry]:
     """Install a fresh ambient facade for one trial (or none at all).
+
+    ``config`` is the session facade's :class:`TelemetryConfig` (or
+    ``None`` for no capture): every trial facade must make the same
+    sampling decisions and use the same window/reservoir layout as the
+    session it merges into, so the executor ships the six-value config
+    across the process boundary instead of the facade itself.
 
     Always *replaces* the ambient default — in a forked worker the
     inherited default is a dead copy of the parent's facade and must
     never collect anything.
     """
-    facade = Telemetry() if enabled else None
+    facade = (Telemetry.from_config(config)
+              if config is not None else None)
     _telemetry.set_default(facade)
     return facade
 
@@ -72,7 +91,11 @@ def end_trial_capture(
         return None
     return TelemetrySnapshot(spans=list(facade.tracer.finished),
                              dropped=facade.tracer.dropped,
-                             metrics=facade.metrics)
+                             sampled_out=facade.tracer.sampled_out,
+                             metrics=facade.metrics,
+                             timeseries=facade.timeseries,
+                             tail=facade.tail,
+                             engine=facade.engine_stats())
 
 
 def merge_snapshot(session: Telemetry,
@@ -82,12 +105,18 @@ def merge_snapshot(session: Telemetry,
     Span and trace ids are remapped past the session tracer's
     high-water mark (`Tracer.absorb`), so per-trial id spaces
     concatenate identically regardless of which backend produced them.
+    Time-series windows add cell-wise and tail reservoirs merge under
+    their strict total order — both merge-order independent, but folded
+    in spec order anyway, same as everything else.
     """
     if snapshot is None:
         return
     session.tracer.absorb(snapshot.spans)
     session.tracer.dropped += snapshot.dropped
+    session.tracer.sampled_out += snapshot.sampled_out
     session.metrics.merge_from(snapshot.metrics)
+    session.timeseries.merge_from(snapshot.timeseries)
+    session.tail.merge(snapshot.tail)
 
 
 # -- wall-clock profile capture ---------------------------------------------------

@@ -34,14 +34,16 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import multiprocessing.pool
+import time
 import traceback
-from typing import List, Mapping, NamedTuple, Optional, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro import telemetry as _telemetry
 from repro.runtime.capture import (ProfileStats, TelemetrySnapshot,
                                    begin_profile_capture, begin_trial_capture,
                                    end_profile_capture, end_trial_capture,
                                    merge_profile_stats, merge_snapshot)
+from repro.telemetry import TelemetryConfig
 from repro.runtime.experiment import Experiment
 from repro.runtime.spec import TrialSpec
 
@@ -67,6 +69,53 @@ class TrialOutcome(NamedTuple):
     failure: Optional[TrialFailure]
 
 
+class ChunkStats(NamedTuple):
+    """Introspection for one dispatched chunk of trials.
+
+    ``wall_ms`` is real wall-clock time — operator diagnostics for the
+    artifact's ``meta`` section, never result material (which is why
+    byte-equality checks strip ``meta``).  The engine counters come off
+    each trial's telemetry snapshot and are deterministic.
+    """
+
+    chunk: int
+    trials: int
+    wall_ms: float
+    #: Simulators built across the chunk's trials (calibration included).
+    simulators: int
+    #: Highest calendar-queue high-water mark any simulator reached.
+    max_queue_depth: int
+    #: Engine events processed across the chunk's trials.
+    engine_events: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-artifact form of this chunk's stats."""
+        return {"chunk": self.chunk, "trials": self.trials,
+                "wall_ms": round(self.wall_ms, 3),
+                "simulators": self.simulators,
+                "max_queue_depth": self.max_queue_depth,
+                "engine_events": self.engine_events}
+
+
+class ExecutorStats(NamedTuple):
+    """How one sweep was actually executed: backend, pool, chunks."""
+
+    backend: str  # "serial" | "pool"
+    jobs: int
+    workers: int
+    chunk_size: int
+    #: Whether the persistent worker pool was reused from a prior sweep.
+    pool_reused: bool
+    chunks: Tuple[ChunkStats, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-artifact form (lands in the artifact ``meta`` section)."""
+        return {"backend": self.backend, "jobs": self.jobs,
+                "workers": self.workers, "chunk_size": self.chunk_size,
+                "pool_reused": self.pool_reused,
+                "chunks": [chunk.to_dict() for chunk in self.chunks]}
+
+
 class ExperimentRun(NamedTuple):
     """A full sweep: merged artifact plus per-trial accounting."""
 
@@ -78,6 +127,9 @@ class ExperimentRun(NamedTuple):
     #: Merged per-trial cProfile tables (spec order), when profiling was
     #: requested via ``TrialExecutor(profile=True)``; ``None`` otherwise.
     profile_stats: Optional[ProfileStats] = None
+    #: Per-chunk executor introspection.  Wall-clock values live here
+    #: (and in artifact ``meta``) only — ``result`` stays digest-safe.
+    executor_stats: Optional[ExecutorStats] = None
 
     @property
     def failures(self) -> List[TrialFailure]:
@@ -95,7 +147,10 @@ class _TrialTask(NamedTuple):
 
     experiment: Experiment
     spec: TrialSpec
-    capture: bool
+    #: The session facade's config (``None`` = no capture); the trial
+    #: builds a fresh facade from it so sampling/window decisions match
+    #: the session exactly on every backend.
+    capture: Optional[TelemetryConfig]
     profile: bool
 
 
@@ -109,7 +164,7 @@ class _ChunkTask(NamedTuple):
 
     experiment: Experiment
     specs: Tuple[TrialSpec, ...]
-    capture: bool
+    capture: Optional[TelemetryConfig]
     profile: bool
 
 
@@ -143,11 +198,37 @@ def _run_trial_task(task: _TrialTask) -> _TrialDone:
         snapshot=snapshot, profile=profile)
 
 
-def _run_chunk(chunk: _ChunkTask) -> List[_TrialDone]:
-    """Worker entry point: run one chunk's specs back to back, in order."""
-    return [_run_trial_task(_TrialTask(chunk.experiment, spec,
+def _run_chunk(chunk: _ChunkTask) -> Tuple[List[_TrialDone], float]:
+    """Worker entry point: run one chunk's specs back to back, in order.
+
+    Returns the chunk's wall-clock milliseconds alongside the results —
+    the one executor fact only the worker can measure.
+    """
+    started = time.perf_counter()  # repro: allow[DET001] chunk wall time is operator diagnostics (artifact meta only), never result material
+    done = [_run_trial_task(_TrialTask(chunk.experiment, spec,
                                        chunk.capture, chunk.profile))
             for spec in chunk.specs]
+    wall_ms = (time.perf_counter() - started) * 1000.0  # repro: allow[DET001] same wall-clock diagnostics as above
+    return done, wall_ms
+
+
+def _chunk_stats(index: int, done: List[_TrialDone],
+                 wall_ms: float) -> ChunkStats:
+    """Aggregate one chunk's engine counters off its trial snapshots."""
+    simulators = 0
+    depth = 0
+    events = 0
+    for item in done:
+        if item.snapshot is None:
+            continue
+        sims, sim_depth, sim_events = item.snapshot.engine
+        simulators += sims
+        if sim_depth > depth:
+            depth = sim_depth
+        events += sim_events
+    return ChunkStats(chunk=index, trials=len(done), wall_ms=wall_ms,
+                      simulators=simulators, max_queue_depth=depth,
+                      engine_events=events)
 
 
 def _warm_noop(_index: int) -> None:
@@ -232,11 +313,12 @@ class TrialExecutor:
         params = experiment.resolve_params(overrides)
         specs = experiment.trials(params)
         session = _telemetry.get_default()
-        capture = session is not None
+        capture = session.config() if session is not None else None
         if self.jobs == 1 or len(specs) <= 1:
-            done = self._run_serial(experiment, specs, capture)
+            done, executor_stats = self._run_serial(experiment, specs,
+                                                    capture)
         else:
-            done = self._run_pool(experiment, specs, capture)
+            done, executor_stats = self._run_pool(experiment, specs, capture)
         if session is not None:
             # After the barrier, in spec order — never completion order.
             for item in done:
@@ -252,37 +334,54 @@ class TrialExecutor:
         return ExperimentRun(
             experiment=experiment.name,
             params=tuple(sorted(params.items(), key=lambda item: item[0])),
-            result=result, outcomes=outcomes, profile_stats=profile_stats)
+            result=result, outcomes=outcomes, profile_stats=profile_stats,
+            executor_stats=executor_stats)
 
     # -- backends -----------------------------------------------------------
 
     def _run_serial(self, experiment: Experiment, specs: List[TrialSpec],
-                    capture: bool) -> List[_TrialDone]:
+                    capture: Optional[TelemetryConfig],
+                    ) -> Tuple[List[_TrialDone], ExecutorStats]:
         session = _telemetry.get_default()
         done: List[_TrialDone] = []
+        started = time.perf_counter()  # repro: allow[DET001] wall-clock executor diagnostics (artifact meta only)
         try:
             for spec in specs:
                 done.append(_run_trial_task(
                     _TrialTask(experiment, spec, capture, self.profile)))
         finally:
             _telemetry.set_default(session)
-        return done
+        wall_ms = (time.perf_counter() - started) * 1000.0  # repro: allow[DET001] same wall-clock diagnostics as above
+        stats = ExecutorStats(
+            backend="serial", jobs=self.jobs, workers=1,
+            chunk_size=max(1, len(specs)), pool_reused=False,
+            chunks=(_chunk_stats(0, done, wall_ms),))
+        return done, stats
 
     def _run_pool(self, experiment: Experiment, specs: List[TrialSpec],
-                  capture: bool) -> List[_TrialDone]:
+                  capture: Optional[TelemetryConfig],
+                  ) -> Tuple[List[_TrialDone], ExecutorStats]:
         workers = min(self.jobs, len(specs))
         chunk_size = self.chunk_size or self.default_chunk_size(
             len(specs), workers)
         chunks = [_ChunkTask(experiment, tuple(specs[at:at + chunk_size]),
                              capture, self.profile)
                   for at in range(0, len(specs), chunk_size)]
+        pool_reused = _POOL is not None and _POOL_WORKERS >= workers
         pool = get_worker_pool(workers)
         # Pool.map returns results in input order, so flattening the
         # chunk results reads out exactly the spec order.
         done: List[_TrialDone] = []
-        for chunk_done in pool.map(_run_chunk, chunks):
+        chunk_stats: List[ChunkStats] = []
+        for index, (chunk_done, wall_ms) in enumerate(
+                pool.map(_run_chunk, chunks)):
             done.extend(chunk_done)
-        return done
+            chunk_stats.append(_chunk_stats(index, chunk_done, wall_ms))
+        stats = ExecutorStats(
+            backend="pool", jobs=self.jobs, workers=workers,
+            chunk_size=chunk_size, pool_reused=pool_reused,
+            chunks=tuple(chunk_stats))
+        return done, stats
 
     @staticmethod
     def default_chunk_size(specs: int, workers: int) -> int:

@@ -28,7 +28,7 @@ threading a parameter through every builder.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from repro.telemetry import exporters
 from repro.telemetry.analysis import (LatencySplit, gateway_crossings,
@@ -36,23 +36,81 @@ from repro.telemetry.analysis import (LatencySplit, gateway_crossings,
                                       wireless_resolver_split)
 from repro.telemetry.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
                                      Histogram, MetricsRegistry)
+from repro.telemetry.sampling import (Exemplar, HeadSampler, TailReservoir,
+                                      exemplar_spans, hash_unit,
+                                      hash_unit_u64)
+from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.trace import Span, TraceContext, Tracer
 
 __all__ = [
-    "Telemetry", "Tracer", "Span", "TraceContext",
+    "Telemetry", "TelemetryConfig", "Tracer", "Span", "TraceContext",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "TimeSeries", "TailReservoir", "Exemplar", "HeadSampler",
+    "hash_unit", "hash_unit_u64", "exemplar_spans",
     "LatencySplit", "wireless_resolver_split", "gateway_crossings",
     "trace_duration", "exporters",
     "set_default", "get_default", "clear_default",
 ]
 
 
-class Telemetry:
-    """One run's tracer plus metrics registry, attachable to networks."""
+class TelemetryConfig(NamedTuple):
+    """The knobs a :class:`Telemetry` facade was built with.
 
-    def __init__(self, tracing: bool = True) -> None:
-        self.tracer = Tracer(enabled=tracing)
+    Per-trial facades must behave identically to the session facade
+    (same sampling decisions, same window layout, same reservoir
+    bounds), so the executor clones this config across the process
+    boundary instead of the facade itself — the config is six plain
+    values and pickles for free.
+    """
+
+    tracing: bool = True
+    #: Deterministic head-sampling rate for traces (1.0 = keep all).
+    trace_sample: float = 1.0
+    #: Simulated-time window width for the streaming time-series.
+    window_ms: float = 1000.0
+    #: Slowest-query exemplars retained by the tail reservoir.
+    tail_capacity: int = 32
+    max_windows: int = 4096
+    max_annotations: int = 512
+
+
+class Telemetry:
+    """One run's tracer, metrics, time-series, and tail reservoir."""
+
+    def __init__(self, tracing: bool = True, trace_sample: float = 1.0,
+                 window_ms: float = 1000.0, tail_capacity: int = 32,
+                 max_windows: int = 4096,
+                 max_annotations: int = 512) -> None:
+        self.tracer = Tracer(enabled=tracing, sample_rate=trace_sample)
         self.metrics = MetricsRegistry()
+        self.timeseries = TimeSeries(window_ms=window_ms,
+                                     max_windows=max_windows,
+                                     max_annotations=max_annotations)
+        self.tail = TailReservoir(tail_capacity)
+        #: Simulators this facade was attached to (via their networks).
+        #: Held only for end-of-trial engine introspection — the facade
+        #: never calls into them, it just reads their public counters.
+        self._sims: List[Any] = []
+
+    def config(self) -> TelemetryConfig:
+        """The config that reproduces this facade's behaviour."""
+        return TelemetryConfig(
+            tracing=self.tracer.enabled,
+            trace_sample=self.tracer.sample_rate,
+            window_ms=self.timeseries.window_ms,
+            tail_capacity=self.tail.capacity,
+            max_windows=self.timeseries.max_windows,
+            max_annotations=self.timeseries.max_annotations)
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig) -> "Telemetry":
+        """A fresh facade behaving exactly like ``config`` describes."""
+        return cls(tracing=config.tracing,
+                   trace_sample=config.trace_sample,
+                   window_ms=config.window_ms,
+                   tail_capacity=config.tail_capacity,
+                   max_windows=config.max_windows,
+                   max_annotations=config.max_annotations)
 
     def attach(self, network) -> "Telemetry":
         """Make ``network`` (and everything riding it) report here.
@@ -63,7 +121,26 @@ class Telemetry:
         """
         network.telemetry = self
         self.tracer.bind_clock_source(network.sim)
+        if network.sim not in self._sims:
+            self._sims.append(network.sim)
         return self
+
+    def engine_stats(self) -> Tuple[int, int, int]:
+        """``(simulators, max queue high-water, events processed)``.
+
+        Read duck-typed off the attached simulators' public counters —
+        the facade layer never imports the engine.  Values are
+        wall-clock-free engine facts and merge deterministically
+        (max / sum), so they can ride the same snapshot path as spans.
+        """
+        depth = 0
+        events = 0
+        for sim in self._sims:
+            sim_depth = getattr(sim, "max_queue_depth", 0)
+            if sim_depth > depth:
+                depth = sim_depth
+            events += getattr(sim, "events_processed", 0)
+        return (len(self._sims), depth, events)
 
     def detach(self, network) -> None:
         """Stop ``network`` reporting here."""
@@ -72,7 +149,8 @@ class Telemetry:
 
     def __repr__(self) -> str:
         return (f"Telemetry({len(self.tracer.finished)} spans, "
-                f"{len(self.metrics)} instruments)")
+                f"{len(self.metrics)} instruments, "
+                f"{len(self.tail)} tail exemplars)")
 
 
 _default: Optional[Telemetry] = None

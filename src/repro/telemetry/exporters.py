@@ -51,8 +51,25 @@ def _render_labels(pairs: Iterable[tuple]) -> str:
     return f"{{{rendered}}}" if rendered else ""
 
 
+def _render_exemplar(pairs: Iterable[tuple], value: float) -> str:
+    """An OpenMetrics exemplar suffix: `` # {labels} value``.
+
+    Unlike :func:`_render_labels`, the braces are mandatory even with no
+    labels — the ``#`` marker introduces a label set, not a comment.
+    """
+    rendered = ",".join(f'{key}="{_escape_label(label)}"'
+                        for key, label in pairs)
+    return f" # {{{rendered}}} {_format_value(value)}"
+
+
 def to_prometheus_text(registry: MetricsRegistry) -> str:
-    """Render every instrument in the Prometheus text exposition format."""
+    """Render every instrument in the Prometheus text exposition format.
+
+    Histogram buckets that captured an exemplar carry the OpenMetrics
+    suffix (`` # {trace_id="17"} 12.4``), linking the bucket straight to
+    a trace in the matching ``--trace-out`` file; plain Prometheus
+    parsers that predate OpenMetrics treat the suffix as a comment.
+    """
     lines: List[str] = []
     for instrument in registry.instruments():
         name = instrument.name
@@ -64,13 +81,18 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                     f"{name}{_render_labels(key)} {_format_value(value)}")
         elif isinstance(instrument, Histogram):
             for key, sample in instrument.samples():
+                exemplars = instrument.exemplars(**dict(key))
                 running = 0
-                for bound, in_bucket in zip(instrument.buckets,
-                                            sample.bucket_counts):
+                for index, (bound, in_bucket) in enumerate(
+                        zip(instrument.buckets, sample.bucket_counts)):
                     running += in_bucket
                     bucket_pairs = list(key) + [("le", _format_value(bound))]
-                    lines.append(f"{name}_bucket{_render_labels(bucket_pairs)}"
-                                 f" {running}")
+                    line = (f"{name}_bucket{_render_labels(bucket_pairs)}"
+                            f" {running}")
+                    exemplar = exemplars.get(index)
+                    if exemplar is not None:
+                        line += _render_exemplar(exemplar[0], exemplar[1])
+                    lines.append(line)
                 lines.append(f"{name}_sum{_render_labels(key)} "
                              f"{_format_value(sample.total)}")
                 lines.append(f"{name}_count{_render_labels(key)} "
@@ -176,8 +198,19 @@ def _jsonable(value: float) -> Any:
 
 def to_json_artifact(registry: MetricsRegistry,
                      spans: Optional[Iterable[Span]] = None,
-                     meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """A stable JSON document of metric samples plus span roll-ups."""
+                     meta: Optional[Dict[str, Any]] = None,
+                     timeseries: Optional[Any] = None,
+                     tail: Optional[Any] = None) -> Dict[str, Any]:
+    """A stable JSON document of metric samples plus span roll-ups.
+
+    ``timeseries`` (a :class:`~repro.telemetry.timeseries.TimeSeries`)
+    embeds its ``repro-timeseries-v1`` document under ``"timeseries"``;
+    ``tail`` (a :class:`~repro.telemetry.sampling.TailReservoir`) lists
+    its slowest-query exemplars under ``"exemplars"``, slowest first.
+    Both sections are pure simulated-time data; anything wall-clock
+    (executor chunk timings) belongs in ``meta``, which byte-equality
+    checks strip before comparing.
+    """
     metrics: List[Dict[str, Any]] = []
     for instrument in registry.instruments():
         entry: Dict[str, Any] = {"name": instrument.name,
@@ -202,6 +235,11 @@ def to_json_artifact(registry: MetricsRegistry,
                                 "metrics": metrics}
     if meta:
         document["meta"] = dict(meta)
+    if timeseries is not None and not timeseries.empty:
+        document["timeseries"] = timeseries.to_dict()
+    if tail is not None and len(tail):
+        document["exemplars"] = [exemplar.to_dict()
+                                 for exemplar in tail.items()]
     if spans is not None:
         by_name: Dict[tuple, Dict[str, Any]] = {}
         n_spans = 0
@@ -236,9 +274,12 @@ def _cumulate(bounds, counts):
 
 def write_json_artifact(registry: MetricsRegistry, path: str,
                         spans: Optional[Iterable[Span]] = None,
-                        meta: Optional[Dict[str, Any]] = None) -> None:
+                        meta: Optional[Dict[str, Any]] = None,
+                        timeseries: Optional[Any] = None,
+                        tail: Optional[Any] = None) -> None:
     """Serialize :func:`to_json_artifact` output to ``path``."""
-    document = to_json_artifact(registry, spans=spans, meta=meta)
+    document = to_json_artifact(registry, spans=spans, meta=meta,
+                                timeseries=timeseries, tail=tail)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -17,6 +17,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: An OpenMetrics exemplar attached to one histogram bucket: the
+#: sorted exemplar label pairs (typically ``trace_id``) plus the
+#: observed value that landed it there.
+ExemplarValue = Tuple[LabelKey, float]
+
 #: Latency-oriented default buckets, in milliseconds.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
@@ -141,9 +146,19 @@ class Histogram:
         self.help = help
         self.buckets: Tuple[float, ...] = tuple(bounds)
         self._samples: Dict[LabelKey, _HistogramSample] = {}
+        #: Last exemplar per (label set, bucket index) — OpenMetrics
+        #: semantics: a bucket carries at most one, newest wins.
+        self._exemplars: Dict[LabelKey, Dict[int, ExemplarValue]] = {}
 
-    def observe(self, value: float, **labels: object) -> None:
-        """Record one observation into the selected sample."""
+    def observe(self, value: float,
+                exemplar: Optional[Dict[str, str]] = None,
+                **labels: object) -> None:
+        """Record one observation into the selected sample.
+
+        ``exemplar`` optionally attaches OpenMetrics exemplar labels
+        (e.g. ``{"trace_id": "17"}``) to the bucket the value lands in;
+        the bucket keeps the most recent one.
+        """
         key = _label_key(labels)
         sample = self._samples.get(key)
         if sample is None:
@@ -151,9 +166,16 @@ class Histogram:
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 sample.bucket_counts[index] += 1
+                if exemplar is not None:
+                    self._exemplars.setdefault(key, {})[index] = (
+                        _label_key(dict(exemplar)), value)
                 break
         sample.total += value
         sample.count += 1
+
+    def exemplars(self, **labels: object) -> Dict[int, ExemplarValue]:
+        """Bucket-index -> exemplar for one label combination."""
+        return dict(self._exemplars.get(_label_key(labels), {}))
 
     def count(self, **labels: object) -> int:
         """Observations recorded for one label combination."""
@@ -197,6 +219,10 @@ class Histogram:
                 mine.bucket_counts[index] += count
             mine.total += theirs.total
             mine.count += theirs.count
+        # Incoming exemplars win: snapshots merge in spec order, so
+        # "newest" is the later trial — same outcome on every backend.
+        for key, per_bucket in sorted(other._exemplars.items()):
+            self._exemplars.setdefault(key, {}).update(per_bucket)
 
     def __repr__(self) -> str:
         observed = sum(s.count for _, s in self.samples())

@@ -13,11 +13,22 @@ simulation.
 Identifiers are sequence numbers, not random: the tracer draws no
 randomness and adds no simulated time, which is what lets the replay
 digests stay byte-for-byte identical with tracing on or off.
+
+At population scale retaining every trace is untenable, so the tracer
+supports **deterministic head sampling** (``sample_rate < 1.0``): when
+a root span opens, the new trace id is hashed (splitmix64 — no RNG) and
+the whole trace is kept or discarded by that one decision.  Ids keep
+incrementing identically whether a trace is sampled in or out, so a
+sampled run interleaves byte-for-byte with a full run's id space and
+the simulation stream is untouched either way.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Set,
+                    Tuple, Union)
+
+from repro.telemetry.sampling import hash_unit_u64
 
 #: Anything that can parent a new span.
 ParentLike = Union["Span", "TraceContext", None]
@@ -95,11 +106,22 @@ class Tracer:
     """
 
     def __init__(self, enabled: bool = True,
-                 max_spans: int = 1_000_000) -> None:
+                 max_spans: int = 1_000_000,
+                 sample_rate: float = 1.0) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
         self.enabled = enabled
         self.max_spans = max_spans
+        #: Fraction of traces retained by deterministic head sampling.
+        self.sample_rate = sample_rate
         self.finished: List[Span] = []
         self.dropped = 0
+        #: Spans discarded because their trace was sampled out.
+        self.sampled_out = 0
+        #: Trace ids head-sampling decided to drop (only populated when
+        #: ``sample_rate < 1.0``; bounded by the run's trace count).
+        self._unsampled: Set[int] = set()
         self._clock: Callable[[], float] = lambda: 0.0
         #: When bound, the clock is read as ``_clock_source.now`` — a
         #: plain attribute load instead of a callable invocation.  The
@@ -143,10 +165,7 @@ class Tracer:
         span.end_ms = source.now if source is not None else self._clock()
         if attrs:
             span.attrs.update(attrs)
-        if len(self.finished) < self.max_spans:
-            self.finished.append(span)
-        else:
-            self.dropped += 1
+        self._store(span)
 
     def add(self, name: str, category: str, track: str,
             start_ms: float, end_ms: float,
@@ -161,10 +180,7 @@ class Tracer:
             return None
         span = self._make(name, category, track, parent,
                           start_ms=start_ms, end_ms=end_ms, attrs=attrs)
-        if len(self.finished) < self.max_spans:
-            self.finished.append(span)
-        else:
-            self.dropped += 1
+        self._store(span)
         return span
 
     def event(self, name: str, category: str, track: str,
@@ -176,10 +192,7 @@ class Tracer:
         now = source.now if source is not None else self._clock()
         span = self._make(name, category, track, parent,
                           start_ms=now, end_ms=now, attrs=attrs)
-        if len(self.finished) < self.max_spans:
-            self.finished.append(span)
-        else:
-            self.dropped += 1
+        self._store(span)
         return span
 
     # -- reading back -----------------------------------------------------------
@@ -199,6 +212,8 @@ class Tracer:
         """Drop every stored span (ids keep incrementing)."""
         self.finished.clear()
         self.dropped = 0
+        self.sampled_out = 0
+        self._unsampled.clear()
 
     # -- merging ----------------------------------------------------------------
 
@@ -230,6 +245,30 @@ class Tracer:
         self._next_trace_id += max_trace
         self._next_span_id += max_span
 
+    def id_offsets(self) -> Tuple[int, int]:
+        """Current ``(trace, span)`` id high-water marks.
+
+        A caller that wants :meth:`ingest`'s copy-free path builds its
+        spans with ids ``offset + 1 .. offset + count`` directly.
+        """
+        return (self._next_trace_id, self._next_span_id)
+
+    def ingest(self, spans: Iterable[Span], trace_count: int,
+               span_count: int) -> None:
+        """Adopt caller-built spans wholesale — no copy, no remap.
+
+        The contract: the caller read :meth:`id_offsets` first and built
+        ``spans`` with ids strictly inside ``(offset, offset + count]``.
+        Head sampling does not apply (the caller already decided what to
+        keep — the engine's per-session sampler, for instance).  This is
+        :meth:`absorb` minus the per-span copy, for hot producers like
+        the population engine's sampled session batches.
+        """
+        for span in spans:
+            self._record(span)
+        self._next_trace_id += trace_count
+        self._next_span_id += span_count
+
     def __len__(self) -> int:
         return len(self.finished)
 
@@ -242,12 +281,25 @@ class Tracer:
             self._next_trace_id += 1
             trace_id = self._next_trace_id
             parent_id: Optional[int] = None
+            if (self.sample_rate < 1.0
+                    and hash_unit_u64(trace_id) >= self.sample_rate):
+                self._unsampled.add(trace_id)
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
         self._next_span_id += 1
         return Span(trace_id, self._next_span_id, parent_id, name, category,
                     track, start_ms, end_ms, dict(attrs))
+
+    def _store(self, span: Span) -> None:
+        """Retain one locally-created span, honouring sampling + bounds."""
+        if self._unsampled and span.trace_id in self._unsampled:
+            self.sampled_out += 1
+            return
+        if len(self.finished) < self.max_spans:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
 
     def _record(self, span: Span) -> None:
         if len(self.finished) >= self.max_spans:

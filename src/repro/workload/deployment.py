@@ -22,7 +22,7 @@ of all traffic off-site.
 from __future__ import annotations
 
 import random
-from typing import List, NamedTuple
+from typing import List, NamedTuple, Tuple
 
 from repro.core.deployments import (DEPLOYMENT_KEYS, DEPLOYMENT_LABELS,
                                     build_testbed)
@@ -62,9 +62,20 @@ class DeploymentModel(NamedTuple):
     #: chain) or a client-blind warmed resolver pinned to the anchor.
     localized: bool
 
+    def dns_legs(self, rng: random.Random) -> Tuple[float, float]:
+        """One lookup's ``(wireless, resolver)`` legs, separately.
+
+        The engine uses the split form so tail exemplars can attribute
+        a slow lookup to the right leg; the draw order is identical to
+        :meth:`dns_ms`, so which form a caller uses cannot change any
+        downstream sample.
+        """
+        # repro: allow[RNG004] both legs draw from the per-UE stream in fixed order (WORKLOAD.md idiom)
+        return (self.wireless.sample(rng), self.resolver.sample(rng))
+
     def dns_ms(self, rng: random.Random) -> float:
         """One lookup's latency (wireless + resolver legs)."""
-        # repro: allow[RNG004] both legs draw from the per-UE stream in fixed order (WORKLOAD.md idiom)
+        # repro: allow[RNG004] same fixed-order draws as dns_legs (WORKLOAD.md idiom)
         return self.wireless.sample(rng) + self.resolver.sample(rng)
 
 

@@ -154,3 +154,116 @@ class TestJsonArtifact:
         write_json_artifact(populated_registry(), str(path))
         parsed = json.loads(path.read_text())
         assert parsed["format"] == "repro-telemetry-v1"
+
+
+class TestOpenMetricsExemplars:
+    def exemplar_registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lookup_latency_ms", "latency",
+                                  buckets=(10.0, 100.0))
+        hist.observe(5.0, exemplar={"trace_id": "17"})
+        hist.observe(50.0, exemplar={"trace_id": "23"})
+        return registry
+
+    def test_bucket_lines_carry_exemplars(self):
+        text = to_prometheus_text(self.exemplar_registry())
+        assert ('repro_lookup_latency_ms_bucket{le="10"} 1 '
+                '# {trace_id="17"} 5' in text)
+        assert ('repro_lookup_latency_ms_bucket{le="100"} 2 '
+                '# {trace_id="23"} 50' in text)
+
+    def test_sum_and_count_lines_unchanged(self):
+        text = to_prometheus_text(self.exemplar_registry())
+        assert "repro_lookup_latency_ms_sum 55" in text
+        assert "repro_lookup_latency_ms_count 2" in text
+
+    def test_exemplar_round_trips_through_the_text_format(self):
+        # An OpenMetrics consumer splits the line on " # ": the left
+        # half must stay plain Prometheus, the right half must parse
+        # back to the exemplar labels and value.
+        import re
+        for line in to_prometheus_text(self.exemplar_registry()).splitlines():
+            if " # " not in line:
+                continue
+            sample, exemplar = line.split(" # ", 1)
+            assert re.fullmatch(r'\S+\{[^}]*\} \d+', sample)
+            match = re.fullmatch(r'\{trace_id="(\d+)"\} ([\d.]+)', exemplar)
+            assert match, exemplar
+        assert any(" # " in line for line in
+                   to_prometheus_text(self.exemplar_registry()).splitlines())
+
+    def test_exemplar_label_values_escaped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(10.0,))
+        hist.observe(5.0, exemplar={"key": 'a"b\\c\nd'})
+        text = to_prometheus_text(registry)
+        assert '# {key="a\\"b\\\\c\\nd"} 5' in text
+
+    def test_last_observation_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "help", buckets=(10.0,))
+        hist.observe(3.0, exemplar={"trace_id": "1"})
+        hist.observe(4.0, exemplar={"trace_id": "2"})
+        text = to_prometheus_text(registry)
+        assert text.count(" # ") == 1
+        assert '# {trace_id="2"} 4' in text
+
+    def test_buckets_without_exemplars_have_no_suffix(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "help", buckets=(10.0,)).observe(5.0)
+        text = to_prometheus_text(registry)
+        assert " # " not in text
+
+
+class TestArtifactSections:
+    def test_timeseries_section_embeds_the_document(self):
+        from repro.telemetry.timeseries import TimeSeries
+        series = TimeSeries(window_ms=500.0)
+        series.count("repro_workload_queries", 600.0, deployment="d")
+        document = to_json_artifact(MetricsRegistry(), timeseries=series)
+        assert document["timeseries"]["format"] == "repro-timeseries-v1"
+        assert document["timeseries"]["window_ms"] == 500.0
+
+    def test_empty_timeseries_omitted(self):
+        from repro.telemetry.timeseries import TimeSeries
+        document = to_json_artifact(MetricsRegistry(),
+                                    timeseries=TimeSeries())
+        assert "timeseries" not in document
+
+    def test_exemplars_section_slowest_first_and_round_trips(self):
+        from repro.telemetry.sampling import Exemplar, TailReservoir
+        tail = TailReservoir(4)
+        for total in (30.0, 90.0, 60.0):
+            tail.offer(Exemplar(key=f"q{total}", total_ms=total, t_ms=0.0,
+                                stages=(("dns", total),)))
+        document = to_json_artifact(MetricsRegistry(), tail=tail)
+        totals = [entry["total_ms"] for entry in document["exemplars"]]
+        assert totals == [90.0, 60.0, 30.0]
+        rebuilt = [Exemplar.from_dict(entry)
+                   for entry in document["exemplars"]]
+        assert rebuilt == tail.items()
+
+    def test_empty_tail_omitted(self):
+        from repro.telemetry.sampling import TailReservoir
+        document = to_json_artifact(MetricsRegistry(),
+                                    tail=TailReservoir(4))
+        assert "exemplars" not in document
+
+    def test_write_round_trip_with_sections(self, tmp_path):
+        from repro.telemetry.sampling import Exemplar, TailReservoir
+        from repro.telemetry.timeseries import TimeSeries
+        series = TimeSeries(window_ms=500.0)
+        series.observe("repro_workload_total_ms", 100.0, 12.0,
+                       deployment="d")
+        tail = TailReservoir(2)
+        tail.offer(Exemplar(key="q", total_ms=12.0, t_ms=100.0,
+                            stages=(("dns", 12.0),)))
+        path = tmp_path / "artifact.json"
+        write_json_artifact(populated_registry(), str(path),
+                            meta={"executor": {"backend": "serial"}},
+                            timeseries=series, tail=tail)
+        parsed = json.loads(path.read_text())
+        assert parsed["format"] == "repro-telemetry-v1"
+        assert parsed["meta"]["executor"]["backend"] == "serial"
+        assert parsed["timeseries"]["series"][0]["kind"] == "latency"
+        assert parsed["exemplars"][0]["key"] == "q"

@@ -127,6 +127,83 @@ class TestTelemetryExports:
         assert main(["dig", "--count", "1"]) == 0
         assert telemetry.get_default() is None
 
+    def test_sampling_flags_shape_the_facade(self):
+        args = build_parser().parse_args(
+            ["experiment", "figure5", "--metrics-out", "m.json",
+             "--trace-sample", "0.05", "--window-ms", "250",
+             "--tail-exemplars", "8"])
+        assert args.trace_sample == 0.05
+        assert args.window_ms == 250.0
+        assert args.tail_exemplars == 8
+
+    def test_experiment_artifact_has_observability_sections(
+            self, tmp_path, capsys):
+        # The workload engine feeds the time-series and tail reservoir,
+        # so a (tiny) population run exercises every artifact section.
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["experiment", "population", "--districts", "1",
+                     "--target-queries", "600",
+                     "--metrics-out", str(metrics_path),
+                     "--window-ms", "60000", "--trace-sample", "0.1"]) == 0
+        document = json.loads(metrics_path.read_text())
+        assert document["timeseries"]["format"] == "repro-timeseries-v1"
+        assert document["timeseries"]["window_ms"] == 60000.0
+        assert document["exemplars"]
+        assert document["meta"]["executor"]["population"]["backend"] == \
+            "serial"
+
+
+class TestTailCommand:
+    def artifact_with_exemplars(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        from repro.telemetry.sampling import Exemplar
+        path.write_text(json.dumps({
+            "format": "repro-telemetry-v1", "metrics": [],
+            "exemplars": [
+                Exemplar(key="d0/u1/s0/q2", total_ms=120.0, t_ms=3000.0,
+                         stages=(("dns.resolver", 80.0), ("fetch", 40.0)),
+                         attrs=(("deployment", "lan-ldns"),)).to_dict(),
+                Exemplar(key="d0/u2/s0/q1", total_ms=200.0, t_ms=4000.0,
+                         stages=(("dns.resolver", 150.0), ("fetch", 50.0)),
+                         attrs=(("deployment", "lan-ldns"),)).to_dict(),
+            ]}))
+        return path
+
+    def test_prints_slowest_first_with_stages(self, tmp_path, capsys):
+        assert main(["tail", str(self.artifact_with_exemplars(tmp_path))]) \
+            == 0
+        out = capsys.readouterr().out
+        assert "2 tail exemplars" in out
+        assert out.index("d0/u2/s0/q1") < out.index("d0/u1/s0/q2")
+        assert "dns.resolver" in out and "75.0%" in out
+
+    def test_top_limits_output(self, tmp_path, capsys):
+        assert main(["tail", str(self.artifact_with_exemplars(tmp_path)),
+                     "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "d0/u2/s0/q1" in out
+        assert "d0/u1/s0/q2" not in out
+
+    def test_trace_out_reconstructs_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "tail-trace.json"
+        assert main(["tail", str(self.artifact_with_exemplars(tmp_path)),
+                     "--trace-out", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        complete = [event for event in document["traceEvents"]
+                    if event["ph"] == "X"]
+        # 2 exemplars x (1 root + 2 stages).
+        assert len(complete) == 6
+
+    def test_missing_exemplars_section_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"format": "repro-telemetry-v1",
+                                    "metrics": []}))
+        assert main(["tail", str(path)]) == 2
+        assert "no 'exemplars' section" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "absent.json")]) == 2
+
 
 class TestCheckCommand:
     def test_parser_accepts_check_flags(self):
